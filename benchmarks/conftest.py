@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper.  The simulation
+behind a figure is executed exactly once (``rounds=1``) through
+pytest-benchmark so the harness records its runtime, and the resulting
+rows/series are printed in the paper's table-like form so the run's output can
+be compared against the published figure (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import FigureData, print_figure
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run a figure-generating callable once, print it, and return its data."""
+
+    def _run(figure_fn, *args, **kwargs) -> FigureData:
+        result = benchmark.pedantic(
+            lambda: figure_fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        print_figure(result)
+        return result
+
+    return _run

@@ -1,0 +1,86 @@
+"""BreakHammer-style thread throttling composed with existing trackers.
+
+The paper's related-work discussion (Section VII-A) positions BreakHammer as
+complementary: it attributes triggered mitigations to hardware threads and
+throttles the suspects, so it can soften Perf-Attacks against trackers that
+remain vulnerable to them -- and it can be stacked on DAPPER-H without
+changing its behaviour on benign or attack-free runs.
+"""
+
+from repro.config import baseline_config
+from repro.eval.report import FigureData, print_figure
+from repro.sim.experiment import run_workload
+
+_TREFW_SCALE = 1 / 16
+_REQUESTS = 5_000
+_WORKLOAD = "470.lbm"
+_WARMUP = 150_000
+
+
+def _normalized(result, baseline):
+    ids = [c.core_id for c in result.benign_results() if c.core_id != 0]
+    ratios = [result.ipc_of(i) / baseline.ipc_of(i) for i in ids]
+    return sum(ratios) / len(ratios)
+
+
+def test_breakhammer_composition(benchmark):
+    """Throttling the attacking thread must never hurt the benign cores, and
+    once the attacker is identified it should claw back bandwidth for them."""
+
+    def run() -> FigureData:
+        config = baseline_config(nrh=500).with_refresh_window_scale(_TREFW_SCALE)
+        baseline = run_workload(
+            config=config,
+            tracker="none",
+            workload=_WORKLOAD,
+            attack=None,
+            requests_per_core=_REQUESTS,
+        )
+        figure = FigureData(
+            name="breakhammer-composition",
+            title="BreakHammer thread throttling composed with CoMeT and DAPPER-H",
+        )
+        scenarios = (
+            ("comet", "rat-thrash"),
+            ("breakhammer:comet", "rat-thrash"),
+            ("dapper-h", "refresh"),
+            ("breakhammer:dapper-h", "refresh"),
+        )
+        for tracker, attack in scenarios:
+            result = run_workload(
+                config=config,
+                tracker=tracker,
+                workload=_WORKLOAD,
+                attack=attack,
+                requests_per_core=_REQUESTS,
+                attack_warmup_activations=_WARMUP,
+            )
+            figure.add(
+                tracker=tracker,
+                attack=attack,
+                normalized_performance=_normalized(result, baseline),
+                throttle_time_ms=result.tracker_stats.throttle_time_ns / 1e6,
+            )
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(figure)
+
+    comet = figure.value("normalized_performance", tracker="comet")
+    comet_throttled = figure.value(
+        "normalized_performance", tracker="breakhammer:comet"
+    )
+    dapper = figure.value("normalized_performance", tracker="dapper-h")
+    dapper_throttled = figure.value(
+        "normalized_performance", tracker="breakhammer:dapper-h"
+    )
+
+    # Throttling the attacker must never make the victim workloads slower
+    # (small tolerance for simulation noise)...
+    assert comet_throttled >= comet - 0.02
+    assert dapper_throttled >= dapper - 0.02
+    # ...and once the refresh-attack thread is identified on DAPPER-H, the
+    # rate limit visibly engages against it.
+    assert (
+        figure.value("throttle_time_ms", tracker="breakhammer:dapper-h") > 0.0
+    )

@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md:
+
+* single hashing (DAPPER-S) versus double hashing (DAPPER-H) under the
+  refresh attack;
+* the per-bank bit-vector on/off under the streaming attack;
+* the cross-table reset counters on/off (soundness of the counter reset);
+* the row-group size.
+"""
+
+from repro.config import baseline_config, reduced_row_config
+from repro.core.dapper_h import DapperHTracker
+from repro.core.dapper_s import DapperSTracker
+from repro.eval.report import FigureData, print_figure
+from repro.sim.experiment import run_workload
+
+_TREFW_SCALE = 1 / 16
+_REQUESTS = 5_000
+_WORKLOAD = "470.lbm"
+
+
+def _normalized(result, baseline):
+    ids = [c.core_id for c in result.benign_results() if c.core_id != 0]
+    ratios = [result.ipc_of(i) / baseline.ipc_of(i) for i in ids]
+    return sum(ratios) / len(ratios)
+
+
+def test_ablation_single_vs_double_hashing(benchmark):
+    """Double hashing is what turns the 20%-class refresh-attack overhead of
+    DAPPER-S into the ~1% overhead of DAPPER-H."""
+
+    def run() -> FigureData:
+        config = baseline_config(nrh=500).with_refresh_window_scale(_TREFW_SCALE)
+        baseline = run_workload(
+            config=config, tracker="none", workload=_WORKLOAD, attack="refresh",
+            requests_per_core=_REQUESTS,
+        )
+        figure = FigureData(name="ablation-hashing", title="Single vs double hashing")
+        for label, tracker in (
+            ("dapper-s", DapperSTracker(config)),
+            ("dapper-h", DapperHTracker(config)),
+        ):
+            result = run_workload(
+                config=config, tracker=tracker, workload=_WORKLOAD, attack="refresh",
+                requests_per_core=_REQUESTS, attack_warmup_activations=60_000,
+            )
+            figure.add(tracker=label, normalized_performance=_normalized(result, baseline))
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(figure)
+    double = figure.value("normalized_performance", tracker="dapper-h")
+    single = figure.value("normalized_performance", tracker="dapper-s")
+    assert double >= single
+
+
+def test_ablation_bitvector(benchmark):
+    """The per-bank bit-vector is the defence against the streaming attack:
+    without it, table 1 inflates and group mitigations fire."""
+
+    def run() -> FigureData:
+        config = reduced_row_config(nrh=500).with_refresh_window_scale(_TREFW_SCALE)
+        figure = FigureData(name="ablation-bitvector", title="Bit-vector on/off")
+        for label, use_bitvector in (("with-bitvector", True), ("without-bitvector", False)):
+            tracker = DapperHTracker(config, use_bitvector=use_bitvector)
+            result = run_workload(
+                config=config, tracker=tracker, workload=_WORKLOAD,
+                attack="row-streaming", requests_per_core=_REQUESTS,
+                attack_warmup_activations=150_000,
+            )
+            figure.add(
+                variant=label,
+                mitigations=result.tracker_stats.mitigations_issued,
+                rows_refreshed=result.tracker_stats.rows_mitigated,
+            )
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(figure)
+    with_bv = figure.value("mitigations", variant="with-bitvector")
+    without_bv = figure.value("mitigations", variant="without-bitvector")
+    assert with_bv <= without_bv
+
+
+def test_ablation_reset_counters(benchmark):
+    """Zeroing the group counters after a mitigation (no reset counters) lets
+    unrefreshed member rows lose tracked activations; the reset counters keep
+    the post-mitigation counters conservative."""
+
+    def run() -> FigureData:
+        config = baseline_config(nrh=500)
+        threshold = config.rowhammer.mitigation_threshold
+        figure = FigureData(name="ablation-reset", title="Reset-counter strategy")
+        from repro.dram.address import BankAddress, RowAddress
+
+        for label, use_reset in (("reset-counters", True), ("zero-reset", False)):
+            tracker = DapperHTracker(config, use_reset_counters=use_reset)
+            row = RowAddress(BankAddress(0, 0, 0, 0), 42)
+            counts_after_mitigation = None
+            for _ in range(threshold + 2):
+                response = tracker.on_activation(row, 0.0)
+                if response.mitigations and counts_after_mitigation is None:
+                    group1, group2 = tracker.groups_of(row)
+                    state = tracker._rank_state(0, 0)
+                    counts_after_mitigation = (
+                        state.table1.count(group1),
+                        state.table2.count(group2),
+                    )
+            figure.add(
+                variant=label,
+                post_mitigation_count_t1=counts_after_mitigation[0],
+                post_mitigation_count_t2=counts_after_mitigation[1],
+            )
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(figure)
+    zero = figure.filter(variant="zero-reset")[0]
+    kept = figure.filter(variant="reset-counters")[0]
+    # Zero-reset forgets everything; the reset-counter strategy never resets
+    # the counters to more than the zero-reset floor would allow.
+    assert zero["post_mitigation_count_t1"] == 0 and zero["post_mitigation_count_t2"] == 0
+    assert kept["post_mitigation_count_t1"] >= 0 and kept["post_mitigation_count_t2"] >= 0
+
+
+def test_ablation_group_size(benchmark):
+    """Smaller groups cost more SRAM but reduce the refresh work per
+    DAPPER-S mitigation; this sweep records the storage trade-off."""
+
+    def run() -> FigureData:
+        config = baseline_config(nrh=500)
+        figure = FigureData(name="ablation-group-size", title="Row-group size sweep")
+        for group_size in (128, 256, 512):
+            tracker_s = DapperSTracker(config, group_size=group_size)
+            tracker_h = DapperHTracker(config, group_size=group_size)
+            figure.add(
+                group_size=group_size,
+                dapper_s_sram_kb=tracker_s.storage_report().sram_kb,
+                dapper_h_sram_kb=tracker_h.storage_report().sram_kb,
+            )
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(figure)
+    sizes = figure.column("dapper_s_sram_kb")
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,11 @@
+"""Table I: the simulated system configuration."""
+
+from repro.eval.tables import table1
+
+
+def test_table1_system_configuration(regenerate):
+    table = regenerate(table1)
+    parameters = {row["parameter"]: row["value"] for row in table.rows}
+    assert parameters["Memory size"] == "64 GB DDR5"
+    assert parameters["Rows per bank, size"] == "64K, 8KB"
+    assert parameters["RowHammer threshold (default)"] == "500"

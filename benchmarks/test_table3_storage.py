@@ -1,0 +1,18 @@
+"""Table III: storage overhead per 32GB of DDR5, regenerated from the tracker
+implementations themselves."""
+
+from repro.eval.tables import table3
+
+
+def test_table3_storage_overheads(regenerate):
+    table = regenerate(table3)
+    rows = {row["tracker"]: row for row in table.rows}
+
+    # DAPPER-H needs 96KB of SRAM per 32GB channel (32KB of RGCs + 64KB of
+    # bit-vectors) and no CAM.
+    assert abs(rows["dapper-h"]["sram_kb"] - 96.0) < 2.0
+    assert rows["dapper-h"]["cam_kb"] == 0.0
+    # DAPPER-S alone is 16KB; START is the smallest; CoMeT the largest SRAM.
+    assert abs(rows["dapper-s"]["sram_kb"] - 16.0) < 1.0
+    assert rows["start"]["sram_kb"] < rows["dapper-h"]["sram_kb"]
+    assert rows["comet"]["sram_kb"] > rows["dapper-h"]["sram_kb"]

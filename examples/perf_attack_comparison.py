@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Performance-Attack comparison: a miniature Figure 1.
+
+One memory-intensive workload (470.lbm) runs on three cores while the fourth
+core mounts, in turn: a cache-thrashing attack against an unprotected system,
+and the tailored RH-Tracker-based Perf-Attack against Hydra, START, CoMeT,
+ABACUS -- and finally the mapping-agnostic refresh attack against DAPPER-H.
+The output shows why shared-structure trackers are vulnerable and how DAPPER-H
+holds up.
+
+Run with:  python examples/perf_attack_comparison.py
+"""
+
+from repro import baseline_config
+from repro.eval.report import format_table
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import slowdown_percent
+
+WORKLOAD = "470.lbm"
+
+
+def main():
+    config = baseline_config(nrh=500).with_refresh_window_scale(1 / 16)
+    runner = ExperimentRunner(config, requests_per_core=6_000)
+
+    scenarios = [
+        ("none", "cache-thrashing", "cache thrashing vs unprotected system"),
+        ("hydra", "rcc-conflict", "RCC set-conflict attack on Hydra"),
+        ("start", "counter-streaming", "counter-streaming attack on START"),
+        ("comet", "rat-thrash", "RAT-thrashing attack on CoMeT"),
+        ("abacus", "id-streaming", "row-ID streaming attack on ABACUS"),
+        ("dapper-h", "refresh", "refresh attack on DAPPER-H"),
+    ]
+
+    rows = []
+    for tracker, attack, description in scenarios:
+        print(f"running: {description} ...")
+        run = runner.run(tracker, WORKLOAD, attack=attack)
+        result = run.result
+        rows.append(
+            {
+                "tracker": tracker,
+                "attack": attack,
+                "normalized_perf": round(run.normalized, 3),
+                "slowdown_%": round(slowdown_percent(run.normalized), 1),
+                "counter_traffic": result.dram_stats.counter_reads
+                + result.dram_stats.counter_writes,
+                "reset_blackout_ms": round(
+                    result.dram_stats.blackout_time_ns / 1e6, 2
+                ),
+            }
+        )
+
+    print("\nPerformance of the three benign copies of "
+          f"{WORKLOAD} (1.0 = attack-free insecure baseline):\n")
+    print(format_table(rows))
+    print("\nThe tailored attacks cripple the shared-structure trackers through "
+          "counter traffic (Hydra/START) or multi-millisecond reset refreshes "
+          "(CoMeT/ABACUS); DAPPER-H's secure hashing keeps the damage to a few "
+          "percent.")
+
+
+if __name__ == "__main__":
+    main()

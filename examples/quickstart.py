@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the baseline system with DAPPER-H.
+
+Runs four copies of 429.mcf on the Table I system (4 cores, 8MB shared LLC,
+2x32GB DDR5-6400) twice -- once with no RowHammer mitigation and once with
+DAPPER-H -- and reports per-core IPC, DRAM statistics, the tracker's
+mitigation activity, and the normalized performance of DAPPER-H.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import baseline_config
+from repro.sim.experiment import run_workload
+from repro.sim.metrics import normalized_performance, slowdown_percent
+
+WORKLOAD = "429.mcf"
+REQUESTS_PER_CORE = 6_000
+
+
+def describe(result, label):
+    print(f"\n--- {label} ---")
+    for core in result.core_results:
+        print(f"  core {core.core_id}: IPC {core.ipc:.3f} "
+              f"({core.instructions} instructions, {core.requests} LLC accesses)")
+    stats = result.dram_stats
+    print(f"  DRAM: {stats.reads} reads, {stats.writes} writes, "
+          f"{stats.activations} activations, "
+          f"row-buffer hit rate {stats.row_hits / max(1, stats.row_hits + stats.row_misses + stats.row_conflicts):.2f}")
+    print(f"  LLC hit rate: {result.llc_stats.hit_rate:.2f}")
+    print(f"  tracker '{result.tracker_name}': "
+          f"{result.tracker_stats.mitigations_issued} mitigations, "
+          f"{result.tracker_stats.rows_mitigated} rows refreshed")
+    print(f"  energy: {result.energy.total_nj / 1e6:.2f} mJ over "
+          f"{result.elapsed_ns / 1e6:.3f} ms simulated")
+
+
+def main():
+    config = baseline_config(nrh=500)
+    print(f"Simulating {WORKLOAD} x {config.cores.num_cores} cores, "
+          f"NRH = {config.rowhammer.nrh}")
+
+    baseline = run_workload(
+        config=config, tracker="none", workload=WORKLOAD,
+        requests_per_core=REQUESTS_PER_CORE,
+    )
+    describe(baseline, "no RowHammer mitigation (insecure baseline)")
+
+    dapper = run_workload(
+        config=config, tracker="dapper-h", workload=WORKLOAD,
+        requests_per_core=REQUESTS_PER_CORE,
+    )
+    describe(dapper, "DAPPER-H")
+
+    norm = normalized_performance(
+        [c.ipc for c in dapper.core_results],
+        [c.ipc for c in baseline.core_results],
+    )
+    print(f"\nDAPPER-H normalized performance: {norm:.4f} "
+          f"({slowdown_percent(norm):.2f}% slowdown)")
+
+
+if __name__ == "__main__":
+    main()

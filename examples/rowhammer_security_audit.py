@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""RowHammer security audit.
+
+Mounts a classic double-sided RowHammer attack while three benign cores run,
+and uses the ground-truth auditor to check whether any DRAM row's activation
+count ever exceeds the RowHammer threshold before its victims are refreshed.
+Without a mitigation the attack sails past the threshold; with DAPPER-S or
+DAPPER-H it never gets there.
+
+Run with:  python examples/rowhammer_security_audit.py
+"""
+
+from repro.config import reduced_row_config
+from repro.sim.experiment import run_workload
+
+WORKLOAD = "403.gcc"
+
+
+def audit(tracker: str) -> None:
+    config = reduced_row_config(nrh=500, rows_per_bank=4096)
+    result = run_workload(
+        config=config,
+        tracker=tracker,
+        workload=WORKLOAD,
+        attack="rowhammer",
+        requests_per_core=3_000,
+        enable_auditor=True,
+    )
+    report = result.security
+    verdict = "SECURE" if report.is_secure else "VULNERABLE"
+    print(f"\ntracker = {tracker:10s} -> {verdict}")
+    print(f"  RowHammer threshold (NRH):        {report.nrh}")
+    print(f"  maximum per-row activation count: {report.max_count} "
+          f"({report.max_count_fraction_of_nrh * 100:.0f}% of NRH)")
+    print(f"  rows tracked by the auditor:      {report.rows_tracked}")
+    print(f"  mitigative refreshes issued:      "
+          f"{result.tracker_stats.mitigations_issued}")
+    if not report.is_secure:
+        worst = report.violations[0]
+        print(f"  first violation: rank-row {worst.rank_row_index} reached "
+              f"{worst.count} activations at t = {worst.time_ns / 1e3:.1f} us")
+
+
+def main():
+    print("Double-sided RowHammer attack, ground-truth security audit")
+    for tracker in ("none", "para", "dapper-s", "dapper-h"):
+        audit(tracker)
+    print("\nThe unprotected system lets the aggressor rows blow through the "
+          "threshold; every tracker (including DAPPER) keeps the count below "
+          "NRH by refreshing victims in time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The declarative configuration lives in ``pyproject.toml``; this shim exists so
+that ``pip install -e .`` also works on environments whose setuptools/pip
+tool-chain predates PEP 660 editable installs (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Security analysis: analytical models from the paper and the empirical
+ground-truth auditor used to validate RowHammer protection in simulation.
+"""
+
+from repro.analysis.security import GroundTruthAuditor, SecurityReport
+from repro.analysis.mapping_capture import (
+    MappingCaptureAnalysis,
+    analyze_dapper_s_mapping_capture,
+    table2_rows,
+)
+from repro.analysis.dapper_h_security import (
+    DapperHSecurityAnalysis,
+    analyze_dapper_h_mapping_capture,
+)
+from repro.analysis.storage import storage_comparison_table, PAPER_TABLE3
+from repro.analysis.security_eval import (
+    DEFAULT_SECURITY_ATTACKS,
+    DETERMINISTIC_TRACKERS,
+    SecurityScenario,
+    evaluate_tracker_security,
+    format_security_table,
+    security_sweep,
+)
+
+__all__ = [
+    "GroundTruthAuditor",
+    "SecurityReport",
+    "MappingCaptureAnalysis",
+    "analyze_dapper_s_mapping_capture",
+    "table2_rows",
+    "DapperHSecurityAnalysis",
+    "analyze_dapper_h_mapping_capture",
+    "storage_comparison_table",
+    "PAPER_TABLE3",
+    "SecurityScenario",
+    "evaluate_tracker_security",
+    "security_sweep",
+    "format_security_table",
+    "DEFAULT_SECURITY_ATTACKS",
+    "DETERMINISTIC_TRACKERS",
+]

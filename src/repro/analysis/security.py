@@ -1,0 +1,156 @@
+"""Ground-truth RowHammer security auditing.
+
+Every simulation can carry a :class:`GroundTruthAuditor` that keeps the true
+per-row activation count, independent of whatever approximation the tracker
+under test maintains.  Counts follow the standard accounting used by the
+tracker literature: a row's count accumulates activations since the last time
+its victims were refreshed -- by an explicit mitigation targeting it, by a
+bulk group refresh that covers it, by a structure-reset refresh of its rank or
+channel, or by the periodic auto-refresh at the end of the refresh window.
+
+A configuration is *secure* if no row's count ever exceeds the RowHammer
+threshold.  (The model is conservative: refreshes of a victim row through a
+*different* neighbouring aggressor are not credited.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.dram.address import RowAddress
+from repro.trackers.base import GroupMitigation
+
+
+@dataclass(frozen=True)
+class SecurityViolation:
+    """A row whose activation count exceeded the RowHammer threshold."""
+
+    channel: int
+    rank: int
+    rank_row_index: int
+    count: int
+    time_ns: float
+
+
+@dataclass
+class SecurityReport:
+    """Summary of the audit after a simulation."""
+
+    nrh: int
+    max_count: int
+    rows_tracked: int
+    violations: tuple[SecurityViolation, ...]
+
+    @property
+    def is_secure(self) -> bool:
+        return not self.violations
+
+    @property
+    def max_count_fraction_of_nrh(self) -> float:
+        return self.max_count / self.nrh if self.nrh else 0.0
+
+
+@dataclass
+class _RowRecord:
+    count: int
+    epoch: tuple[int, int]
+
+
+class GroundTruthAuditor:
+    """Tracks true per-row activation counts during a simulation."""
+
+    MAX_RECORDED_VIOLATIONS = 64
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.org = config.dram
+        self.nrh = config.rowhammer.nrh
+        self._rows: dict[tuple[int, int, int], _RowRecord] = {}
+        self._rank_epochs: dict[tuple[int, int], int] = {}
+        self._global_epoch = 0
+        self._max_count = 0
+        self._violations: list[SecurityViolation] = []
+
+    # ------------------------------------------------------------------ #
+    # Event hooks (called by the memory controller)
+    # ------------------------------------------------------------------ #
+
+    def _key(self, row: RowAddress) -> tuple[int, int, int]:
+        return (
+            row.bank.channel,
+            row.bank.rank,
+            row.rank_row_index(self.org),
+        )
+
+    def _current_epoch(self, channel: int, rank: int) -> tuple[int, int]:
+        return (self._global_epoch, self._rank_epochs.get((channel, rank), 0))
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> None:
+        key = self._key(row)
+        epoch = self._current_epoch(key[0], key[1])
+        record = self._rows.get(key)
+        if record is None or record.epoch != epoch:
+            record = _RowRecord(count=0, epoch=epoch)
+            self._rows[key] = record
+        record.count += 1
+        if record.count > self._max_count:
+            self._max_count = record.count
+        if (
+            record.count > self.nrh
+            and len(self._violations) < self.MAX_RECORDED_VIOLATIONS
+        ):
+            self._violations.append(
+                SecurityViolation(
+                    channel=key[0],
+                    rank=key[1],
+                    rank_row_index=key[2],
+                    count=record.count,
+                    time_ns=now_ns,
+                )
+            )
+
+    def on_mitigation(self, aggressor: RowAddress, blast_radius: int) -> None:
+        """The victims of ``aggressor`` were refreshed: its damage resets."""
+        key = self._key(aggressor)
+        record = self._rows.get(key)
+        if record is not None:
+            record.count = 0
+
+    def on_group_mitigation(self, group: GroupMitigation) -> None:
+        """A bulk refresh covered every member of a row group."""
+        for key, record in self._rows.items():
+            if key[0] != group.channel or key[1] != group.rank:
+                continue
+            if record.count and group.covers(key[2]):
+                record.count = 0
+
+    def on_structure_reset(self, channel: int, rank: int | None) -> None:
+        """Every row of the rank (or channel) was refreshed."""
+        if rank is None:
+            for r in range(self.org.ranks_per_channel):
+                key = (channel, r)
+                self._rank_epochs[key] = self._rank_epochs.get(key, 0) + 1
+        else:
+            key = (channel, rank)
+            self._rank_epochs[key] = self._rank_epochs.get(key, 0) + 1
+
+    def on_refresh_window(self, window_index: int) -> None:
+        """The periodic auto refresh has walked over every row."""
+        self._global_epoch = window_index
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_count(self) -> int:
+        return self._max_count
+
+    def report(self) -> SecurityReport:
+        return SecurityReport(
+            nrh=self.nrh,
+            max_count=self._max_count,
+            rows_tracked=len(self._rows),
+            violations=tuple(self._violations),
+        )

@@ -1,0 +1,75 @@
+"""Storage-overhead comparison (Table III).
+
+Table III compares the SRAM / CAM footprint and estimated die area of the
+evaluated trackers per 32GB DDR5 channel.  Each tracker implementation in this
+reproduction computes its own :class:`~repro.trackers.base.StorageReport`; this
+module collects them and places the paper's reported numbers alongside.  The
+regenerated table also includes the Graphene and MINT related-work baselines
+(not part of the paper's Table III, so they carry no reference values) to show
+the two storage extremes DAPPER-H sits between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, baseline_config
+from repro.trackers.registry import create_tracker
+
+
+#: Values reported by the paper in Table III (per 32GB DDR5 channel):
+#: tracker -> (SRAM KB, CAM KB, die area mm^2).
+PAPER_TABLE3: dict[str, tuple[float, float, float]] = {
+    "hydra": (56.5, 0.0, 0.044),
+    "comet": (112.0, 23.0, 0.139),
+    "start": (4.0, 0.0, 0.003),
+    "abacus": (19.3, 7.5, 0.038),
+    "dapper-h": (96.0, 0.0, 0.075),
+}
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    """One row of the regenerated Table III."""
+
+    tracker: str
+    sram_kb: float
+    cam_kb: float
+    die_area_mm2: float
+    paper_sram_kb: float | None
+    paper_cam_kb: float | None
+    paper_die_area_mm2: float | None
+
+
+def storage_comparison_table(
+    config: SystemConfig | None = None,
+    trackers: tuple[str, ...] = (
+        "hydra",
+        "comet",
+        "start",
+        "abacus",
+        "graphene",
+        "mint",
+        "dapper-s",
+        "dapper-h",
+    ),
+) -> list[StorageRow]:
+    """Regenerate Table III from the tracker implementations."""
+    config = config or baseline_config()
+    rows = []
+    for name in trackers:
+        tracker = create_tracker(name, config)
+        report = tracker.storage_report()
+        paper = PAPER_TABLE3.get(name)
+        rows.append(
+            StorageRow(
+                tracker=name,
+                sram_kb=report.sram_kb,
+                cam_kb=report.cam_kb,
+                die_area_mm2=report.die_area_mm2(),
+                paper_sram_kb=paper[0] if paper else None,
+                paper_cam_kb=paper[1] if paper else None,
+                paper_die_area_mm2=paper[2] if paper else None,
+            )
+        )
+    return rows

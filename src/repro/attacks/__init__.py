@@ -1,0 +1,114 @@
+"""Attack kernels: Performance Attacks, mapping-capture, and RowHammer.
+
+``tailored_attack_for`` returns the Perf-Attack the paper designs for each
+tracker (Figure 2): RCC set conflicts for Hydra, row streaming for START and
+ABACUS, RAT thrashing for CoMeT, and the mapping-agnostic streaming / refresh
+attacks for DAPPER.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackGenerator
+from repro.attacks.blind import (
+    ManySidedRowHammerAttack,
+    RandomRowCapacityAttack,
+    ResetProbeAttack,
+)
+from repro.attacks.cache_thrash import CacheThrashingAttack
+from repro.attacks.comet_attack import RATThrashingAttack
+from repro.attacks.hydra_attack import RCCConflictAttack
+from repro.attacks.mapping_capture import MappingCaptureResult, run_mapping_capture_attack
+from repro.attacks.refresh_attack import DoubleSidedRowHammerAttack, RefreshAttack
+from repro.attacks.streaming import RowStreamingAttack
+from repro.config import DRAMOrganization
+from repro.dram.address import AddressMapper
+
+__all__ = [
+    "AttackGenerator",
+    "CacheThrashingAttack",
+    "RCCConflictAttack",
+    "RATThrashingAttack",
+    "RowStreamingAttack",
+    "RefreshAttack",
+    "DoubleSidedRowHammerAttack",
+    "ManySidedRowHammerAttack",
+    "RandomRowCapacityAttack",
+    "ResetProbeAttack",
+    "MappingCaptureResult",
+    "run_mapping_capture_attack",
+    "tailored_attack_for",
+    "attack_by_name",
+    "available_attacks",
+]
+
+
+#: Attack the paper tailors to each tracker for the motivation figures.  The
+#: START variant of the streaming attack uses a stride of 64 rows so every
+#: activation touches a fresh counter cache line in START's reserved region.
+_TAILORED = {
+    "hydra": "rcc-conflict",
+    "start": "counter-streaming",
+    "abacus": "id-streaming",
+    "comet": "rat-thrash",
+    "dapper-s": "refresh",
+    "dapper-h": "refresh",
+}
+
+
+#: Factories for every attack kernel, keyed by the short name used throughout
+#: the CLI, the experiment runner and the benchmarks.
+_ATTACK_FACTORIES = {
+    "cache-thrashing": CacheThrashingAttack,
+    "rcc-conflict": RCCConflictAttack,
+    "rat-thrash": RATThrashingAttack,
+    "row-streaming": RowStreamingAttack,
+    "counter-streaming": lambda org, mapper, seed: RowStreamingAttack(
+        org, mapper, seed, row_stride=64
+    ),
+    "id-streaming": lambda org, mapper, seed: RowStreamingAttack(
+        org, mapper, seed, distinct_row_ids=True
+    ),
+    "refresh": RefreshAttack,
+    "rowhammer": DoubleSidedRowHammerAttack,
+    "many-sided-rowhammer": ManySidedRowHammerAttack,
+    "blind-random-rows": RandomRowCapacityAttack,
+    "blind-reset-probe": ResetProbeAttack,
+    # The steady state after the probe has concluded: the attacker hammers the
+    # row count the probe discovered (Section III-E notes the probe is needed
+    # only once, after which the attack runs continuously at that size).
+    "blind-post-probe": lambda org, mapper, seed: ResetProbeAttack(
+        org, mapper, seed, initial_rows=1024, max_rows=1024
+    ),
+}
+
+
+def available_attacks() -> tuple[str, ...]:
+    """Names of every attack kernel :func:`attack_by_name` can build."""
+    return tuple(_ATTACK_FACTORIES)
+
+
+def attack_by_name(
+    name: str,
+    org: DRAMOrganization,
+    mapper: AddressMapper,
+    seed: int = 1,
+) -> AttackGenerator:
+    """Instantiate an attack kernel by short name."""
+    try:
+        factory = _ATTACK_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown attack {name!r}; available: {', '.join(_ATTACK_FACTORIES)}"
+        ) from None
+    return factory(org, mapper, seed)
+
+
+def tailored_attack_for(
+    tracker_name: str,
+    org: DRAMOrganization,
+    mapper: AddressMapper,
+    seed: int = 1,
+) -> AttackGenerator:
+    """The RH-Tracker-based Perf-Attack the paper tailors to ``tracker_name``."""
+    attack_name = _TAILORED.get(tracker_name, "row-streaming")
+    return attack_by_name(attack_name, org, mapper, seed)

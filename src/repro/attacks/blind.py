@@ -1,0 +1,222 @@
+"""Perf-Attacks that need no knowledge of the tracker's internals (Section III-E).
+
+The tailored attacks of Section III-B assume the attacker knows structure
+sizes and mappings (e.g. which rows collide in Hydra's Row Counter Cache).
+Section III-E observes that the attacks stay potent without that knowledge:
+
+* **Random-row capacity attack.**  Instead of engineering RCC set conflicts,
+  the attacker picks a few hundred rows at random and keeps activating them.
+  The Row Counter Cache (or START's reserved LLC region) simply fills up, so
+  the misses become *capacity* misses instead of conflict misses -- the DRAM
+  counter traffic is the same.
+* **Reset-probe attack.**  Against CoMeT the attacker does not know the Recent
+  Aggressor Table size, but structure resets are easy to observe (they block
+  DRAM for ~2.4 ms).  The attacker escalates the number of hammered rows
+  geometrically, probing until resets appear, and then keeps hammering that
+  many rows.  The probe is needed only once; afterwards the attack is as
+  potent as the informed one.
+* **Many-sided RowHammer.**  Not a Perf-Attack but the classic Blacksmith-style
+  non-uniform aggressor pattern, included so the security audits can exercise
+  trackers with more aggressors per bank than the double-sided kernel.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackGenerator
+from repro.config import DRAMOrganization
+from repro.cpu.trace import TraceEntry
+from repro.dram.address import AddressMapper
+
+
+class RandomRowCapacityAttack(AttackGenerator):
+    """Repeatedly activates a random set of rows to thrash counter caches.
+
+    Works against any tracker that caches per-row counters (Hydra's RCC,
+    START's reserved LLC region) without knowing the cache geometry: once the
+    attacker's working set exceeds the cache capacity, every activation misses
+    and costs extra DRAM counter traffic.
+
+    The default working set (8192 rows) is kept inside a single rank so it
+    comfortably exceeds Hydra's 4K-entry per-rank Row Counter Cache.  Note
+    that the attack needs a long ramp: each shared group counter must first
+    reach Hydra's per-row-tracking threshold, which takes on the order of
+    ``group_threshold * num_rows`` activations (the benchmarks pre-play that
+    ramp through the tracker warm-up helper).
+    """
+
+    name = "blind-random-rows"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        num_rows: int = 8192,
+        banks_used: int | None = None,
+        channel: int = 0,
+    ):
+        super().__init__(org, mapper, seed)
+        self.num_rows = num_rows
+        self.banks_used = banks_used or org.banks_per_rank
+        self.channel = channel
+        self._sequence: list[int] = []
+        self._build_sequence()
+        self._cursor = 0
+
+    def _build_sequence(self) -> None:
+        org = self.org
+        seen: set[tuple[int, int]] = set()
+        while len(self._sequence) < self.num_rows:
+            bank_index = self.rng.next_below(self.banks_used)
+            row = self.rng.next_below(org.rows_per_bank)
+            if (bank_index, row) in seen:
+                continue
+            seen.add((bank_index, row))
+            rank = (bank_index // org.banks_per_rank) % org.ranks_per_channel
+            bank_local = bank_index % org.banks_per_rank
+            self._sequence.append(self._encode(self.channel, rank, bank_local, row))
+        # Interleave the per-bank lists implicitly by shuffling the sequence so
+        # consecutive activations usually target different banks (tRRD-bound).
+        for i in range(len(self._sequence) - 1, 0, -1):
+            j = self.rng.next_below(i + 1)
+            self._sequence[i], self._sequence[j] = self._sequence[j], self._sequence[i]
+
+    @property
+    def distinct_rows(self) -> int:
+        """Number of distinct rows in the attacker's working set."""
+        return len(self._sequence)
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)
+
+
+class ResetProbeAttack(AttackGenerator):
+    """Escalates its aggressor-row count until structure resets appear.
+
+    Models the Section III-E attacker who does not know CoMeT's RAT size: it
+    hammers ``initial_rows`` rows for ``activations_per_episode`` activations,
+    then doubles the row count, and so on up to ``max_rows``.  In a real attack
+    the escalation stops as soon as the 2.4 ms reset blackouts become visible;
+    here the attack simply continues to the cap, which it reaches within the
+    first few percent of any simulation window, so the steady-state potency
+    matches the informed RAT-thrashing attack.
+    """
+
+    name = "blind-reset-probe"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        initial_rows: int = 32,
+        max_rows: int = 1024,
+        activations_per_episode: int = 2048,
+        banks_used: int = 16,
+        channel: int = 0,
+    ):
+        super().__init__(org, mapper, seed)
+        if initial_rows < 1 or max_rows < initial_rows:
+            raise ValueError("need 1 <= initial_rows <= max_rows")
+        self.initial_rows = initial_rows
+        self.max_rows = max_rows
+        self.activations_per_episode = activations_per_episode
+        self.banks_used = min(banks_used, org.banks_per_channel)
+        self.channel = channel
+        self._episode_rows = initial_rows
+        self._episode_activations = 0
+        self._sequence: list[int] = []
+        self._build_sequence()
+        self._cursor = 0
+
+    @property
+    def current_rows(self) -> int:
+        """Number of distinct rows hammered in the current probe episode."""
+        return self._episode_rows
+
+    def _build_sequence(self) -> None:
+        org = self.org
+        self._sequence = []
+        rows_per_bank_used = max(1, self._episode_rows // self.banks_used)
+        for step in range(rows_per_bank_used):
+            for bank_index in range(self.banks_used):
+                rank = (bank_index // org.banks_per_rank) % org.ranks_per_channel
+                bank_local = bank_index % org.banks_per_rank
+                row = 2000 + step * 13 + bank_index
+                self._sequence.append(
+                    self._encode(self.channel, rank, bank_local, row)
+                )
+        self._cursor = 0
+
+    def _maybe_escalate(self) -> None:
+        if self._episode_activations < self.activations_per_episode:
+            return
+        self._episode_activations = 0
+        if self._episode_rows < self.max_rows:
+            self._episode_rows = min(self.max_rows, self._episode_rows * 2)
+            self._build_sequence()
+
+    def next_entry(self) -> TraceEntry:
+        self._maybe_escalate()
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        self._episode_activations += 1
+        return self._entry(address)
+
+
+class ManySidedRowHammerAttack(AttackGenerator):
+    """Blacksmith-style many-sided hammering of one victim region per bank.
+
+    ``num_aggressors`` rows spaced ``spacing`` apart are hammered round-robin
+    in each of ``banks_used`` banks.  Used by the security audits to exercise
+    trackers with several simultaneous aggressors per bank; any sound tracker
+    must keep every aggressor below the RowHammer threshold between victim
+    refreshes.
+    """
+
+    name = "many-sided-rowhammer"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        base_row: int = 20_000,
+        num_aggressors: int = 8,
+        spacing: int = 2,
+        banks_used: int = 4,
+        channel: int = 0,
+        rank: int = 0,
+    ):
+        super().__init__(org, mapper, seed)
+        if num_aggressors < 1:
+            raise ValueError("need at least one aggressor row")
+        self.base_row = base_row
+        self.num_aggressors = num_aggressors
+        self.spacing = max(1, spacing)
+        self.banks_used = banks_used
+        self.channel = channel
+        self.rank = rank
+        self._sequence = [
+            self._encode(
+                channel, rank, bank_local, base_row + aggressor * self.spacing
+            )
+            for aggressor in range(num_aggressors)
+            for bank_local in range(banks_used)
+        ]
+        self._cursor = 0
+
+    @property
+    def aggressor_rows(self) -> tuple[int, ...]:
+        """Row indices hammered in every targeted bank."""
+        return tuple(
+            self.base_row + aggressor * self.spacing
+            for aggressor in range(self.num_aggressors)
+        )
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)

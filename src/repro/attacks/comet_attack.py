@@ -1,0 +1,59 @@
+"""Tailored Perf-Attack against CoMeT: Recent Aggressor Table thrashing.
+
+CoMeT's Count-Min Sketch cannot be selectively reset, so it relies on a small
+Recent Aggressor Table (RAT, 128 entries) of per-row counters to suppress
+repeated mitigations of rows whose sketch counters are saturated.  The attack
+rapidly activates far more rows than the RAT can hold: the sketch saturates
+for all of them (helped by hash aliasing), the RAT thrashes, the RAT-miss rate
+crosses CoMeT's 25% reset trigger, and CoMeT repeatedly resets its structures
+by refreshing every row of the rank -- a multi-millisecond blackout each time.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackGenerator
+from repro.config import DRAMOrganization
+from repro.cpu.trace import TraceEntry
+from repro.dram.address import AddressMapper
+
+
+class RATThrashingAttack(AttackGenerator):
+    """Round-robins over more aggressor rows than CoMeT's RAT can track."""
+
+    name = "comet-rat-thrash"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        num_rows: int = 768,
+        banks_used: int = 16,
+        channel: int = 0,
+    ):
+        super().__init__(org, mapper, seed)
+        self.num_rows = num_rows
+        self.banks_used = min(banks_used, org.banks_per_channel)
+        self.channel = channel
+        self._sequence: list[int] = []
+        self._build_sequence()
+        self._cursor = 0
+
+    def _build_sequence(self) -> None:
+        org = self.org
+        rows_per_bank_used = max(2, self.num_rows // self.banks_used)
+        # Interleave banks so the activation rate is tRRD-bound, and walk each
+        # bank's private row list so every access is a row conflict.
+        for step in range(rows_per_bank_used):
+            for bank_index in range(self.banks_used):
+                rank = (bank_index // org.banks_per_rank) % org.ranks_per_channel
+                bank_local = bank_index % org.banks_per_rank
+                row = 1000 + step * 17 + bank_index  # distinct rows per bank
+                self._sequence.append(
+                    self._encode(self.channel, rank, bank_local, row)
+                )
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)

@@ -1,0 +1,71 @@
+"""Tailored Perf-Attack against Hydra: Row Counter Cache set conflicts.
+
+Hydra caches per-row counters in a small set-associative Row Counter Cache
+(RCC) inside the memory controller; misses cost one DRAM read (fetch the
+counter) plus one DRAM write (write back the evicted counter).  The attack
+first pushes its rows' group counters past Hydra's per-row threshold, then
+keeps activating more rows than one RCC set can hold so that (almost) every
+activation misses, tripling the attacker's effective DRAM traffic and starving
+co-running applications of bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackGenerator
+from repro.config import DRAMOrganization
+from repro.cpu.trace import TraceEntry
+from repro.dram.address import AddressMapper
+
+
+class RCCConflictAttack(AttackGenerator):
+    """Activates rows that collide in Hydra's Row Counter Cache."""
+
+    name = "hydra-rcc-conflict"
+
+    #: Number of RCC sets in the evaluated Hydra configuration (4K entries,
+    #: 32 ways).  Rows whose index is congruent modulo this value share a set.
+    RCC_SETS = 128
+    #: Rows alternated per bank so every access is a row conflict (an ACT).
+    ROWS_PER_BANK = 2
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        target_set: int = 7,
+        banks_used: int | None = None,
+    ):
+        super().__init__(org, mapper, seed)
+        self.target_set = target_set % self.RCC_SETS
+        self.banks_used = banks_used or org.banks_per_channel
+        self._sequence: list[int] = []
+        self._build_sequence()
+        self._cursor = 0
+
+    def _build_sequence(self) -> None:
+        """Precompute the cyclic activation sequence.
+
+        For each bank we pick ``ROWS_PER_BANK`` rows in the target RCC set
+        (row indices congruent to the set index modulo the set count); the
+        sequence interleaves banks so consecutive activations are only tRRD
+        apart, and alternates the per-bank rows so the row buffer never hits.
+        """
+        org = self.org
+        # Number of distinct rows per bank that fall into the target RCC set.
+        rows_in_set_per_bank = max(2, org.rows_per_bank // self.RCC_SETS)
+        for phase in range(self.ROWS_PER_BANK):
+            for bank_index in range(self.banks_used):
+                channel = 0
+                rank = (bank_index // org.banks_per_rank) % org.ranks_per_channel
+                bank_local = bank_index % org.banks_per_rank
+                slot = (bank_index * self.ROWS_PER_BANK + phase) % rows_in_set_per_bank
+                row = self.target_set + slot * self.RCC_SETS
+                self._sequence.append(
+                    self._encode(channel, rank, bank_local, row)
+                )
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)

@@ -1,0 +1,115 @@
+"""The mapping-agnostic *refresh attack* (Section V-E) and classic hammering.
+
+The refresh attack repeatedly activates a small number of rows per bank as
+fast as the DRAM timing allows.  Against DAPPER-S this drives the hammered
+rows' group counters to the mitigation threshold over and over, and every
+mitigation refreshes all 256 rows of the group -- a steady stream of bulk
+refreshes that costs benign applications about 20%.  Against DAPPER-H the same
+pattern only triggers single-shared-row refreshes, which is why the paper
+reports <1% overhead.
+
+Because the pattern is simply "hammer these rows", the same generator doubles
+as the classic RowHammer aggressor used by the security audit tests: run it
+against a tracker with the ground-truth auditor enabled and verify no row
+crosses the RowHammer threshold.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackGenerator
+from repro.config import DRAMOrganization
+from repro.cpu.trace import TraceEntry
+from repro.dram.address import AddressMapper
+
+
+class RefreshAttack(AttackGenerator):
+    """Hammers a few rows per bank across every bank of the target channel(s)."""
+
+    name = "refresh-attack"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        rows_per_bank: int = 2,
+        banks_used: int | None = 16,
+        channels: tuple[int, ...] | None = (0,),
+        base_row: int = 4096,
+        row_stride: int = 3,
+    ):
+        super().__init__(org, mapper, seed)
+        self.rows_per_bank = max(2, rows_per_bank)
+        self.banks_used = banks_used or org.banks_per_channel
+        self.channels = channels or tuple(range(org.channels))
+        self.base_row = base_row
+        self.row_stride = row_stride
+        self._sequence: list[int] = []
+        self._build_sequence()
+        self._cursor = 0
+
+    def _build_sequence(self) -> None:
+        org = self.org
+        for phase in range(self.rows_per_bank):
+            for channel in self.channels:
+                for bank_index in range(self.banks_used):
+                    rank = (bank_index // org.banks_per_rank) % org.ranks_per_channel
+                    bank_local = bank_index % org.banks_per_rank
+                    row = self.base_row + phase * self.row_stride + bank_index
+                    self._sequence.append(
+                        self._encode(channel, rank, bank_local, row)
+                    )
+
+    @property
+    def hammered_rows(self) -> int:
+        """Total number of distinct rows the attack hammers."""
+        return len(self._sequence)
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)
+
+
+class DoubleSidedRowHammerAttack(AttackGenerator):
+    """Classic double-sided RowHammer against one victim row per bank pair.
+
+    Alternates the two aggressor rows surrounding a victim row in a handful of
+    banks.  Used by the security tests: without a mitigation the victim's
+    neighbours accumulate activations far past the RowHammer threshold; with
+    any sound tracker they must not.
+    """
+
+    name = "double-sided-rowhammer"
+
+    def __init__(
+        self,
+        org: DRAMOrganization,
+        mapper: AddressMapper,
+        seed: int = 1,
+        victim_row: int = 30_000,
+        banks_used: int = 4,
+        channel: int = 0,
+        rank: int = 0,
+    ):
+        super().__init__(org, mapper, seed)
+        self.victim_row = victim_row
+        self.banks_used = banks_used
+        self.channel = channel
+        self.rank = rank
+        self._sequence = []
+        for bank_local in range(banks_used):
+            for aggressor in (victim_row - 1, victim_row + 1):
+                self._sequence.append(
+                    self._encode(channel, rank, bank_local, aggressor)
+                )
+        self._cursor = 0
+
+    @property
+    def aggressor_rows(self) -> tuple[int, int]:
+        return (self.victim_row - 1, self.victim_row + 1)
+
+    def next_entry(self) -> TraceEntry:
+        address = self._sequence[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._sequence)
+        return self._entry(address)

@@ -1,0 +1,5 @@
+"""Shared last-level cache model."""
+
+from repro.cache.llc import CacheAccessResult, CacheStats, SharedLLC
+
+__all__ = ["SharedLLC", "CacheAccessResult", "CacheStats"]

@@ -1,0 +1,317 @@
+"""Command-line interface for the DAPPER reproduction.
+
+The CLI wraps the most common entry points so experiments can be launched
+without writing Python:
+
+``python -m repro.cli list-trackers``
+    Show every registered RowHammer mitigation.
+``python -m repro.cli list-workloads [--suite SPEC2K6]``
+    Show the 57 workload profiles.
+``python -m repro.cli run --tracker dapper-h --workload 429.mcf [--attack refresh]``
+    Run one scenario and print normalized performance plus key statistics.
+``python -m repro.cli storage``
+    Regenerate the Table III storage comparison.
+``python -m repro.cli security --tracker dapper-h``
+    Mount a double-sided RowHammer attack with the ground-truth auditor.
+``python -m repro.cli security-sweep [--trackers a,b] [--attacks x,y]``
+    Audit several trackers against several hammering patterns at once.
+``python -m repro.cli figure 11`` / ``python -m repro.cli table 3``
+    Regenerate one figure or table of the paper (``figure --list`` shows ids).
+``python -m repro.cli list-attacks``
+    Show the attack kernels available to ``run --attack``.
+``python -m repro.cli trace-record --workload 429.mcf --entries 10000 -o mcf.trace``
+    Freeze a synthetic workload to a replayable trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.security_eval import (
+    DEFAULT_SECURITY_ATTACKS,
+    DETERMINISTIC_TRACKERS,
+    format_security_table,
+    security_sweep,
+)
+from repro.analysis.storage import storage_comparison_table
+from repro.config import baseline_config, reduced_row_config
+from repro.cpu.tracefile import record_workload_trace, write_trace
+from repro.cpu.workloads import ALL_WORKLOADS, SUITES
+from repro.eval import figures as figure_definitions
+from repro.eval import tables as table_definitions
+from repro.eval.report import format_table, print_figure
+from repro.sim.experiment import ExperimentRunner, run_workload
+from repro.sim.metrics import slowdown_percent
+from repro.trackers.registry import available_trackers
+
+#: Figure numbers that have a regeneration function in :mod:`repro.eval.figures`.
+FIGURE_IDS = (1, 2, 3, 4, 5, 9, 10, 11, 12, 13, 14, 15, 16, 17)
+#: Table numbers that have a regeneration function in :mod:`repro.eval.tables`.
+TABLE_IDS = (1, 2, 3, 4)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAPPER (HPCA 2025) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-trackers", help="list registered RowHammer mitigations")
+
+    list_workloads = sub.add_parser("list-workloads", help="list workload profiles")
+    list_workloads.add_argument("--suite", choices=SUITES, default=None)
+
+    run = sub.add_parser("run", help="run one simulation scenario")
+    run.add_argument("--tracker", default="dapper-h", choices=available_trackers())
+    run.add_argument("--workload", default="429.mcf")
+    run.add_argument("--attack", default=None)
+    run.add_argument("--nrh", type=int, default=500)
+    run.add_argument("--requests", type=int, default=8_000)
+    run.add_argument(
+        "--attack-matched-baseline",
+        action="store_true",
+        help="normalise against a baseline that also runs the attacker",
+    )
+    run.add_argument(
+        "--trefw-scale",
+        type=float,
+        default=1.0 / 16.0,
+        help="refresh-window scale used for short simulation windows",
+    )
+
+    sub.add_parser("storage", help="regenerate the Table III storage comparison")
+
+    security = sub.add_parser(
+        "security", help="RowHammer security audit under a double-sided attack"
+    )
+    security.add_argument("--tracker", default="dapper-h", choices=available_trackers())
+    security.add_argument("--nrh", type=int, default=500)
+    security.add_argument("--requests", type=int, default=3_000)
+
+    sweep = sub.add_parser(
+        "security-sweep",
+        help="audit several trackers against several hammering patterns",
+    )
+    sweep.add_argument(
+        "--trackers",
+        default=",".join(DETERMINISTIC_TRACKERS),
+        help="comma-separated tracker names",
+    )
+    sweep.add_argument(
+        "--attacks",
+        default=",".join(DEFAULT_SECURITY_ATTACKS),
+        help="comma-separated attack names",
+    )
+    sweep.add_argument("--nrh", type=int, default=500)
+    sweep.add_argument("--activations", type=int, default=20_000)
+
+    figure = sub.add_parser("figure", help="regenerate one figure of the paper")
+    figure.add_argument("number", nargs="?", type=int, default=None)
+    figure.add_argument(
+        "--list", action="store_true", help="list the figures that can be regenerated"
+    )
+
+    table = sub.add_parser("table", help="regenerate one table of the paper")
+    table.add_argument("number", nargs="?", type=int, default=None)
+    table.add_argument(
+        "--list", action="store_true", help="list the tables that can be regenerated"
+    )
+
+    sub.add_parser("list-attacks", help="list the available attack kernels")
+
+    trace = sub.add_parser(
+        "trace-record", help="record a synthetic workload to a trace file"
+    )
+    trace.add_argument("--workload", default="429.mcf")
+    trace.add_argument("--entries", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("-o", "--output", required=True)
+    return parser
+
+
+def _cmd_list_trackers() -> int:
+    for name in available_trackers():
+        print(name)
+    return 0
+
+
+def _cmd_list_workloads(suite: str | None) -> int:
+    rows = [
+        {
+            "workload": profile.name,
+            "suite": profile.suite,
+            "apki": profile.apki,
+            "row_locality": profile.row_locality,
+            "footprint_mb": profile.footprint_bytes // (1024 * 1024),
+            "memory_intensive": profile.memory_intensive,
+        }
+        for profile in ALL_WORKLOADS
+        if suite is None or profile.suite == suite
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = baseline_config(nrh=args.nrh).with_refresh_window_scale(args.trefw_scale)
+    runner = ExperimentRunner(config, requests_per_core=args.requests)
+    run = runner.run(
+        args.tracker,
+        args.workload,
+        attack=args.attack,
+        attack_matched_baseline=args.attack_matched_baseline,
+    )
+    result = run.result
+    print(f"tracker             : {args.tracker}")
+    print(f"workload            : {args.workload}")
+    print(f"attack              : {args.attack or 'none'}")
+    print(f"RowHammer threshold : {args.nrh}")
+    print(f"normalized perf     : {run.normalized:.4f} "
+          f"({slowdown_percent(run.normalized):.2f}% slowdown)")
+    print(f"benign IPCs         : "
+          + ", ".join(f"{c.ipc:.3f}" for c in result.benign_results()))
+    print(f"DRAM activations    : {result.dram_stats.activations}")
+    print(f"counter traffic     : {result.dram_stats.counter_reads} reads, "
+          f"{result.dram_stats.counter_writes} writes")
+    print(f"mitigations         : {result.tracker_stats.mitigations_issued} "
+          f"({result.tracker_stats.rows_mitigated} rows)")
+    print(f"structure resets    : {result.tracker_stats.structure_resets}")
+    print(f"blackout time       : {result.dram_stats.blackout_time_ns / 1e6:.3f} ms")
+    return 0
+
+
+def _cmd_storage() -> int:
+    rows = [
+        {
+            "tracker": row.tracker,
+            "sram_kb": round(row.sram_kb, 1),
+            "cam_kb": round(row.cam_kb, 1),
+            "die_area_mm2": round(row.die_area_mm2, 3),
+            "paper_sram_kb": row.paper_sram_kb,
+            "paper_cam_kb": row.paper_cam_kb,
+        }
+        for row in storage_comparison_table()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    config = reduced_row_config(nrh=args.nrh, rows_per_bank=4096)
+    result = run_workload(
+        config=config,
+        tracker=args.tracker,
+        workload="403.gcc",
+        attack="rowhammer",
+        requests_per_core=args.requests,
+        enable_auditor=True,
+    )
+    report = result.security
+    print(f"tracker                  : {args.tracker}")
+    print(f"RowHammer threshold      : {report.nrh}")
+    print(f"max per-row activations  : {report.max_count}")
+    print(f"mitigations issued       : {result.tracker_stats.mitigations_issued}")
+    print(f"verdict                  : {'SECURE' if report.is_secure else 'VULNERABLE'}")
+    return 0 if report.is_secure or args.tracker == "none" else 1
+
+
+def _cmd_security_sweep(args: argparse.Namespace) -> int:
+    trackers = tuple(name for name in args.trackers.split(",") if name)
+    attacks = tuple(name for name in args.attacks.split(",") if name)
+    scenarios = security_sweep(
+        trackers=trackers,
+        attacks=attacks,
+        config=baseline_config(nrh=args.nrh),
+        activations=args.activations,
+    )
+    print(format_security_table(scenarios))
+    insecure = [s for s in scenarios if not s.is_secure and s.tracker != "none"]
+    return 1 if insecure else 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.list or args.number is None:
+        for number in FIGURE_IDS:
+            function = getattr(figure_definitions, f"figure{number}")
+            summary = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"figure {number:>2}: {summary}")
+        return 0
+    if args.number not in FIGURE_IDS:
+        print(f"no regeneration function for figure {args.number}; "
+              f"available: {', '.join(str(n) for n in FIGURE_IDS)}")
+        return 2
+    figure = getattr(figure_definitions, f"figure{args.number}")()
+    print_figure(figure)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.list or args.number is None:
+        for number in TABLE_IDS:
+            function = getattr(table_definitions, f"table{number}")
+            summary = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"table {number}: {summary}")
+        return 0
+    if args.number not in TABLE_IDS:
+        print(f"no regeneration function for table {args.number}; "
+              f"available: {', '.join(str(n) for n in TABLE_IDS)}")
+        return 2
+    table = getattr(table_definitions, f"table{args.number}")()
+    print_figure(table)
+    return 0
+
+
+def _cmd_list_attacks() -> int:
+    from repro.attacks import attack_by_name, available_attacks
+    from repro.dram.address import AddressMapper
+
+    config = baseline_config()
+    mapper = AddressMapper(config.dram)
+    for name in available_attacks():
+        attack = attack_by_name(name, config.dram, mapper)
+        print(f"{name:<24} {type(attack).__name__}")
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    entries = record_workload_trace(
+        args.workload, args.entries, config=baseline_config(), seed=args.seed
+    )
+    written = write_trace(
+        args.output,
+        entries,
+        header=f"synthetic trace of {args.workload} ({args.entries} entries)",
+    )
+    print(f"wrote {written} entries to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-trackers":
+        return _cmd_list_trackers()
+    if args.command == "list-workloads":
+        return _cmd_list_workloads(args.suite)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "storage":
+        return _cmd_storage()
+    if args.command == "security":
+        return _cmd_security(args)
+    if args.command == "security-sweep":
+        return _cmd_security_sweep(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "list-attacks":
+        return _cmd_list_attacks()
+    if args.command == "trace-record":
+        return _cmd_trace_record(args)
+    raise AssertionError(f"unhandled command {args.command}")   # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

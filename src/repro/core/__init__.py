@@ -1,0 +1,18 @@
+"""The paper's contribution: the DAPPER Perf-Attack-resilient RowHammer trackers.
+
+* :class:`DapperSTracker` -- the single-hash template (Section V).
+* :class:`DapperHTracker` -- the full design with double hashing, per-bank
+  bit-vectors and cross-table reset counters (Section VI).
+"""
+
+from repro.core.dapper_s import DapperSTracker
+from repro.core.dapper_h import DapperHTracker
+from repro.core.rgc import RowGroupCounterTable
+from repro.core.bitvector import PerBankBitVector
+
+__all__ = [
+    "DapperSTracker",
+    "DapperHTracker",
+    "RowGroupCounterTable",
+    "PerBankBitVector",
+]

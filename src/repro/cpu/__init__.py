@@ -1,0 +1,41 @@
+"""CPU substrate: synthetic workload traces, request generators, and the
+MLP-limited core timing model that converts memory latencies into IPC.
+"""
+
+from repro.cpu.core import CoreModel, CoreResult
+from repro.cpu.trace import IdleGenerator, RequestGenerator, TraceEntry, WorkloadTraceGenerator
+from repro.cpu.tracefile import (
+    FileTraceGenerator,
+    TraceFormatError,
+    read_trace,
+    record_trace,
+    record_workload_trace,
+    write_trace,
+)
+from repro.cpu.workloads import (
+    ALL_WORKLOADS,
+    SUITES,
+    WorkloadProfile,
+    get_workload,
+    workloads_in_suite,
+)
+
+__all__ = [
+    "CoreModel",
+    "CoreResult",
+    "TraceEntry",
+    "RequestGenerator",
+    "WorkloadTraceGenerator",
+    "IdleGenerator",
+    "FileTraceGenerator",
+    "TraceFormatError",
+    "read_trace",
+    "write_trace",
+    "record_trace",
+    "record_workload_trace",
+    "WorkloadProfile",
+    "ALL_WORKLOADS",
+    "SUITES",
+    "get_workload",
+    "workloads_in_suite",
+]

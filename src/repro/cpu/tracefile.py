@@ -1,0 +1,167 @@
+"""Reading, writing and replaying memory-access trace files.
+
+The paper's evaluation is trace-driven: instruction traces of the 57
+benchmark applications are replayed through the simulator.  The synthetic
+:class:`~repro.cpu.trace.WorkloadTraceGenerator` stands in for those traces,
+but downstream users may have real traces of their own (or want to freeze a
+synthetic stream for exact reproducibility across runs and machines).  This
+module provides the file format and the replay generator for that:
+
+* :func:`write_trace` / :func:`read_trace` -- a simple line-oriented text
+  format, one access per line::
+
+      # comment lines and blank lines are ignored
+      <gap_instructions> <physical_address_hex> <R|W>
+
+  ``gap_instructions`` is the number of instructions executed since the
+  previous LLC-level access, exactly as carried by
+  :class:`~repro.cpu.trace.TraceEntry` (and in the spirit of the Ramulator
+  CPU-trace format the paper's artifact uses).
+* :class:`FileTraceGenerator` -- replays a recorded trace through the
+  simulator; it implements the same :class:`~repro.cpu.trace.RequestGenerator`
+  protocol as the synthetic workloads and the attack kernels.
+* :func:`record_trace` / :func:`record_workload_trace` -- capture the next
+  ``n`` entries of any generator (or of a named workload profile) so they can
+  be written out and replayed later.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.config import SystemConfig, baseline_config
+from repro.cpu.trace import RequestGenerator, TraceEntry, WorkloadTraceGenerator
+from repro.cpu.workloads import WorkloadProfile, get_workload
+from repro.dram.address import AddressMapper
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file line cannot be parsed."""
+
+
+def write_trace(path: str | Path, entries: Iterable[TraceEntry], header: str = "") -> int:
+    """Write ``entries`` to ``path`` and return the number of lines written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for entry in entries:
+            kind = "W" if entry.is_write else "R"
+            handle.write(f"{entry.gap_instructions} 0x{entry.address:x} {kind}\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, line_number: int) -> TraceEntry | None:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    fields = stripped.split()
+    if len(fields) != 3:
+        raise TraceFormatError(
+            f"line {line_number}: expected '<gap> <address> <R|W>', got {stripped!r}"
+        )
+    gap_text, address_text, kind = fields
+    try:
+        gap = int(gap_text)
+        address = int(address_text, 0)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_number}: {exc}") from None
+    if gap < 0 or address < 0:
+        raise TraceFormatError(
+            f"line {line_number}: gap and address must be non-negative"
+        )
+    kind = kind.upper()
+    if kind not in ("R", "W"):
+        raise TraceFormatError(
+            f"line {line_number}: access kind must be 'R' or 'W', got {kind!r}"
+        )
+    return TraceEntry(gap_instructions=gap, address=address, is_write=kind == "W")
+
+
+def read_trace(path: str | Path) -> list[TraceEntry]:
+    """Parse a trace file written by :func:`write_trace` (or by hand)."""
+    path = Path(path)
+    entries: list[TraceEntry] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            entry = _parse_line(line, line_number)
+            if entry is not None:
+                entries.append(entry)
+    return entries
+
+
+class FileTraceGenerator:
+    """Replays a fixed list of trace entries as a request stream.
+
+    The simulator treats request generators as infinite streams, so by default
+    the trace wraps around when it is exhausted (``loop=True``).  With
+    ``loop=False`` the generator raises :class:`StopIteration` instead, which
+    is convenient for strict replay in unit tests.
+    """
+
+    bypasses_llc = False
+
+    def __init__(
+        self,
+        entries: Sequence[TraceEntry] | str | Path,
+        loop: bool = True,
+        bypasses_llc: bool = False,
+    ):
+        if isinstance(entries, (str, Path)):
+            entries = read_trace(entries)
+        if not entries:
+            raise ValueError("a trace must contain at least one entry")
+        self._entries = list(entries)
+        self.loop = loop
+        self.bypasses_llc = bypasses_llc
+        self._cursor = 0
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def next_entry(self) -> TraceEntry:
+        if self._cursor >= len(self._entries):
+            if not self.loop:
+                raise StopIteration("trace exhausted")
+            self._cursor = 0
+            self.replays += 1
+        entry = self._entries[self._cursor]
+        self._cursor += 1
+        return entry
+
+
+def record_trace(generator: RequestGenerator, num_entries: int) -> list[TraceEntry]:
+    """Capture the next ``num_entries`` accesses produced by ``generator``."""
+    if num_entries < 1:
+        raise ValueError("num_entries must be positive")
+    return [generator.next_entry() for _ in range(num_entries)]
+
+
+def record_workload_trace(
+    workload: str | WorkloadProfile,
+    num_entries: int,
+    config: SystemConfig | None = None,
+    core_id: int = 0,
+    seed: int | None = None,
+) -> list[TraceEntry]:
+    """Record a synthetic trace for one of the 57 named workload profiles.
+
+    This is the bridge between the synthetic workload model and the trace file
+    format: the recorded entries can be written with :func:`write_trace`,
+    shared, edited, and replayed bit-exactly with :class:`FileTraceGenerator`.
+    """
+    config = config or baseline_config()
+    profile = get_workload(workload) if isinstance(workload, str) else workload
+    generator = WorkloadTraceGenerator(
+        profile,
+        config.dram,
+        AddressMapper(config.dram),
+        core_id=core_id,
+        seed=config.seed if seed is None else seed,
+    )
+    return record_trace(generator, num_entries)

@@ -1,0 +1,187 @@
+"""The 57 evaluated workloads and their synthetic memory profiles.
+
+The paper evaluates 57 applications drawn from SPEC2006 (23), SPEC2017 (18),
+TPC (4), Hadoop (3), MediaBench (3) and YCSB (6).  Because the original
+instruction traces are not redistributable, each workload is represented here
+by a :class:`WorkloadProfile` describing the characteristics that drive the
+memory system:
+
+``apki``            LLC accesses per kilo-instruction (post-L2 traffic),
+``row_locality``    probability that the next access continues sequentially
+                    within the current DRAM row,
+``footprint_bytes`` size of the working set walked by the core,
+``write_fraction``  fraction of accesses that are writes.
+
+The values are chosen so the relative memory intensity across workloads and
+suites is faithful to the well-known behaviour of these applications (e.g.
+429.mcf, 433.milc, 470.lbm, 510.parest and the TPC/Hadoop workloads are
+memory-intensive; povray, gamess, leela are compute-bound), which is what the
+paper's "shape" results depend on.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic memory profile for one workload.
+
+    ``reuse_fraction`` and ``hot_bytes`` model temporal locality: that share
+    of non-sequential accesses targets a small hot region, which is what gives
+    applications an LLC hit rate (and therefore what cache-thrashing attacks
+    and START's LLC reservation take away).
+    """
+
+    name: str
+    suite: str
+    apki: float
+    row_locality: float
+    footprint_bytes: int
+    write_fraction: float = 0.25
+    reuse_fraction: float = 0.5
+    hot_bytes: int = _MB // 2
+
+    @property
+    def memory_intensive(self) -> bool:
+        """Roughly the paper's ">= 2 row-buffer misses per kilo instruction" filter."""
+        return self.apki * (1.0 - 0.6 * self.row_locality) >= 2.0
+
+
+def _w(
+    name: str,
+    suite: str,
+    apki: float,
+    locality: float,
+    footprint_mb: float,
+    writes: float = 0.25,
+) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name,
+        suite=suite,
+        apki=apki,
+        row_locality=locality,
+        footprint_bytes=int(footprint_mb * _MB),
+        write_fraction=writes,
+    )
+
+
+SPEC2006 = "SPEC2K6"
+SPEC2017 = "SPEC2K17"
+TPC = "TPC"
+HADOOP = "Hadoop"
+MEDIABENCH = "MediaBench"
+YCSB = "YCSB"
+
+#: Ordered list of suite names as the paper reports them.
+SUITES: tuple[str, ...] = (SPEC2006, SPEC2017, TPC, HADOOP, MEDIABENCH, YCSB)
+
+
+ALL_WORKLOADS: tuple[WorkloadProfile, ...] = (
+    # ------------------------------------------------------------------ #
+    # SPEC CPU2006 (23)
+    # ------------------------------------------------------------------ #
+    _w("400.perlbench", SPEC2006, 1.2, 0.70, 24),
+    _w("401.bzip2", SPEC2006, 3.5, 0.55, 48),
+    _w("403.gcc", SPEC2006, 4.0, 0.50, 64),
+    _w("429.mcf", SPEC2006, 68.0, 0.15, 1536, 0.20),
+    _w("445.gobmk", SPEC2006, 1.0, 0.60, 24),
+    _w("456.hmmer", SPEC2006, 2.2, 0.75, 32),
+    _w("458.sjeng", SPEC2006, 0.8, 0.55, 16),
+    _w("462.libquantum", SPEC2006, 26.0, 0.92, 64, 0.30),
+    _w("464.h264ref", SPEC2006, 2.0, 0.80, 40),
+    _w("471.omnetpp", SPEC2006, 21.0, 0.25, 192),
+    _w("473.astar", SPEC2006, 10.0, 0.35, 128),
+    _w("483.xalancbmk", SPEC2006, 12.0, 0.35, 128),
+    _w("410.bwaves", SPEC2006, 19.0, 0.85, 512, 0.30),
+    _w("416.gamess", SPEC2006, 0.4, 0.80, 8),
+    _w("433.milc", SPEC2006, 30.0, 0.55, 512, 0.35),
+    _w("434.zeusmp", SPEC2006, 6.0, 0.70, 256),
+    _w("435.gromacs", SPEC2006, 1.1, 0.70, 16),
+    _w("436.cactusADM", SPEC2006, 8.0, 0.65, 384, 0.35),
+    _w("437.leslie3d", SPEC2006, 14.0, 0.75, 384, 0.30),
+    _w("444.namd", SPEC2006, 1.0, 0.75, 32),
+    _w("450.soplex", SPEC2006, 27.0, 0.45, 384, 0.20),
+    _w("453.povray", SPEC2006, 0.2, 0.80, 4),
+    _w("470.lbm", SPEC2006, 33.0, 0.88, 512, 0.45),
+    # ------------------------------------------------------------------ #
+    # SPEC CPU2017 (18)
+    # ------------------------------------------------------------------ #
+    _w("500.perlbench", SPEC2017, 1.0, 0.70, 24),
+    _w("502.gcc", SPEC2017, 5.5, 0.50, 96),
+    _w("503.bwaves", SPEC2017, 16.0, 0.85, 768, 0.30),
+    _w("505.mcf", SPEC2017, 42.0, 0.20, 1024, 0.20),
+    _w("507.cactuBSSN", SPEC2017, 9.0, 0.65, 512, 0.35),
+    _w("508.namd", SPEC2017, 1.2, 0.75, 48),
+    _w("510.parest", SPEC2017, 36.0, 0.30, 768, 0.20),
+    _w("511.povray", SPEC2017, 0.2, 0.80, 4),
+    _w("519.lbm", SPEC2017, 31.0, 0.88, 768, 0.45),
+    _w("520.omnetpp", SPEC2017, 19.0, 0.25, 256),
+    _w("521.wrf", SPEC2017, 7.0, 0.70, 384, 0.30),
+    _w("523.xalancbmk", SPEC2017, 11.0, 0.35, 192),
+    _w("525.x264", SPEC2017, 1.8, 0.80, 64),
+    _w("526.blender", SPEC2017, 1.5, 0.70, 96),
+    _w("527.cam4", SPEC2017, 6.5, 0.65, 384, 0.30),
+    _w("531.deepsjeng", SPEC2017, 1.0, 0.55, 48),
+    _w("538.imagick", SPEC2017, 0.8, 0.85, 64),
+    _w("549.fotonik3d", SPEC2017, 24.0, 0.80, 768, 0.30),
+    # ------------------------------------------------------------------ #
+    # TPC (4)
+    # ------------------------------------------------------------------ #
+    _w("tpcc64", TPC, 14.0, 0.30, 512, 0.35),
+    _w("tpch2", TPC, 17.0, 0.55, 768, 0.15),
+    _w("tpch6", TPC, 20.0, 0.65, 768, 0.15),
+    _w("tpch17", TPC, 15.0, 0.50, 768, 0.15),
+    # ------------------------------------------------------------------ #
+    # Hadoop (3)
+    # ------------------------------------------------------------------ #
+    _w("hadoop-grep", HADOOP, 12.0, 0.55, 512, 0.25),
+    _w("hadoop-sort", HADOOP, 18.0, 0.45, 768, 0.40),
+    _w("hadoop-wordcount", HADOOP, 10.0, 0.50, 512, 0.30),
+    # ------------------------------------------------------------------ #
+    # MediaBench (3)
+    # ------------------------------------------------------------------ #
+    _w("mediabench-h263enc", MEDIABENCH, 3.0, 0.80, 64, 0.30),
+    _w("mediabench-jpegdec", MEDIABENCH, 4.5, 0.85, 96, 0.35),
+    _w("mediabench-mpeg2enc", MEDIABENCH, 5.0, 0.80, 128, 0.35),
+    # ------------------------------------------------------------------ #
+    # YCSB (6)
+    # ------------------------------------------------------------------ #
+    _w("ycsb-a", YCSB, 9.0, 0.25, 768, 0.45),
+    _w("ycsb-b", YCSB, 8.0, 0.25, 768, 0.15),
+    _w("ycsb-c", YCSB, 7.5, 0.25, 768, 0.05),
+    _w("ycsb-d", YCSB, 8.5, 0.30, 640, 0.15),
+    _w("ycsb-e", YCSB, 11.0, 0.40, 768, 0.10),
+    _w("ycsb-f", YCSB, 9.5, 0.25, 768, 0.45),
+)
+
+_BY_NAME = {profile.name: profile for profile in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look a workload up by name (raises ``KeyError`` for unknown names)."""
+    return _BY_NAME[name]
+
+
+def workloads_in_suite(suite: str) -> tuple[WorkloadProfile, ...]:
+    """All workloads belonging to the given suite, in definition order."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; expected one of {SUITES}")
+    return tuple(profile for profile in ALL_WORKLOADS if profile.suite == suite)
+
+
+def memory_intensive_workloads() -> tuple[WorkloadProfile, ...]:
+    """Workloads matching the paper's >= 2 row-buffer-misses-PKI filter."""
+    return tuple(profile for profile in ALL_WORKLOADS if profile.memory_intensive)
+
+
+def suite_counts() -> dict[str, int]:
+    """Number of workloads per suite (matches the counts in the paper's plots)."""
+    counts: dict[str, int] = {}
+    for profile in ALL_WORKLOADS:
+        counts[profile.suite] = counts.get(profile.suite, 0) + 1
+    return counts

@@ -1,0 +1,8 @@
+"""Cryptographic substrates used by DAPPER: a low-latency block cipher (LLBC)
+and the pseudo-random number generator that supplies its round keys.
+"""
+
+from repro.crypto.llbc import LowLatencyBlockCipher
+from repro.crypto.prng import SplitMix64, XorShift64
+
+__all__ = ["LowLatencyBlockCipher", "SplitMix64", "XorShift64"]

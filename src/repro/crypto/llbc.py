@@ -1,0 +1,117 @@
+"""Low-Latency Block Cipher (LLBC) used for DAPPER's secure row-group hashing.
+
+DAPPER-S and DAPPER-H randomise the mapping from DRAM rows to row-group
+counters with a small keyed block cipher over the row-address space (21 bits
+for the 2M rows of one rank in the baseline system), in the spirit of the
+four-round low-latency ciphers used by CEASER and CUBE (and of SCARF).
+
+The functional requirements are:
+
+* **bijective** over an arbitrary (possibly odd) bit width ``n``, so that the
+  hashed address space is exactly the row address space and every hashed
+  address can be decrypted back to the original row for mitigation;
+* **keyed**, with a small per-round key that can be refreshed cheaply every
+  reset period (12 us analysis point) or refresh window (32 ms);
+* **fast**, because it runs on every simulated activation.
+
+We implement a balanced/unbalanced 4-round Feistel network with an xorshift-
+based round function.  Feistel networks are bijections for any split of the
+block, which handles odd widths such as 21 bits naturally.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prng import SplitMix64
+
+_MASK64 = (1 << 64) - 1
+
+
+def _round_function(value: int, key: int, width: int) -> int:
+    """Non-linear keyed mixing of ``value`` (width bits) under ``key``."""
+    x = (value ^ key) & _MASK64
+    x = (x * 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 29
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 32
+    return x & ((1 << width) - 1)
+
+
+class LowLatencyBlockCipher:
+    """A 4-round keyed Feistel permutation over ``block_bits``-bit values."""
+
+    DEFAULT_ROUNDS = 4
+
+    def __init__(self, block_bits: int, seed: int, rounds: int = DEFAULT_ROUNDS):
+        if block_bits < 2:
+            raise ValueError("block_bits must be at least 2")
+        if rounds < 2:
+            raise ValueError("at least two rounds are required for mixing")
+        self.block_bits = block_bits
+        self.rounds = rounds
+        self._left_bits = block_bits // 2
+        self._right_bits = block_bits - self._left_bits
+        self._left_mask = (1 << self._left_bits) - 1
+        self._right_mask = (1 << self._right_bits) - 1
+        self._keys: list[int] = []
+        self._key_epoch = 0
+        self._seeder = SplitMix64(seed)
+        self.rekey()
+
+    # ------------------------------------------------------------------ #
+    # Key management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def key_epoch(self) -> int:
+        """Number of times the cipher has been re-keyed."""
+        return self._key_epoch
+
+    @property
+    def round_keys(self) -> tuple[int, ...]:
+        return tuple(self._keys)
+
+    def rekey(self) -> None:
+        """Draw a fresh set of round keys (DAPPER re-keys every reset period)."""
+        self._keys = [self._seeder.next() for _ in range(self.rounds)]
+        self._key_epoch += 1
+
+    # ------------------------------------------------------------------ #
+    # Permutation
+    # ------------------------------------------------------------------ #
+
+    def encrypt(self, value: int) -> int:
+        """Encrypt a ``block_bits``-bit value."""
+        self._check_range(value)
+        left = value >> self._right_bits
+        right = value & self._right_mask
+        for round_index in range(self.rounds):
+            key = self._keys[round_index]
+            if round_index % 2 == 0:
+                # Even rounds modify the left half using the right half.
+                left ^= _round_function(right, key, self._left_bits)
+                left &= self._left_mask
+            else:
+                right ^= _round_function(left, key, self._right_bits)
+                right &= self._right_mask
+        return (left << self._right_bits) | right
+
+    def decrypt(self, value: int) -> int:
+        """Invert :meth:`encrypt`."""
+        self._check_range(value)
+        left = value >> self._right_bits
+        right = value & self._right_mask
+        for round_index in reversed(range(self.rounds)):
+            key = self._keys[round_index]
+            if round_index % 2 == 0:
+                left ^= _round_function(right, key, self._left_bits)
+                left &= self._left_mask
+            else:
+                right ^= _round_function(left, key, self._right_bits)
+                right &= self._right_mask
+        return (left << self._right_bits) | right
+
+    def _check_range(self, value: int) -> None:
+        if not 0 <= value < (1 << self.block_bits):
+            raise ValueError(
+                f"value {value} out of range for {self.block_bits}-bit block"
+            )

@@ -1,0 +1,73 @@
+"""Deterministic pseudo-random number generators.
+
+The simulator must be fully deterministic (same seed, same result) and must
+not depend on Python's global :mod:`random` state, so every component that
+needs randomness owns one of these small generators.
+
+``SplitMix64`` is used to derive independent sub-seeds (one per core, one per
+tracker, one per key schedule); ``XorShift64`` is the fast per-component
+stream generator.
+"""
+
+from __future__ import annotations
+
+
+_MASK64 = (1 << 64) - 1
+
+
+class SplitMix64:
+    """SplitMix64 generator, mainly used for seeding other generators."""
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64
+
+    def next(self) -> int:
+        """Return the next 64-bit value."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return (z ^ (z >> 31)) & _MASK64
+
+    def derive(self, label: int) -> int:
+        """Derive a reproducible sub-seed for component ``label``."""
+        fork = SplitMix64((self._state ^ (label * 0xA24BAED4963EE407)) & _MASK64)
+        return fork.next()
+
+
+class XorShift64:
+    """xorshift64* generator: fast, deterministic, and good enough for
+    address-pattern and sampling decisions inside the simulator."""
+
+    def __init__(self, seed: int):
+        self._state = (seed & _MASK64) or 0x1234_5678_9ABC_DEF1
+
+    def next_u64(self) -> int:
+        x = self._state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self._state = x & _MASK64
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def next_float(self) -> float:
+        """Uniform float in [0, 1)."""
+        return (self.next_u64() >> 11) / float(1 << 53)
+
+    def next_below(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next_u64() % bound
+
+    def next_bits(self, bits: int) -> int:
+        """Uniform integer with the requested number of bits."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        value = 0
+        remaining = bits
+        while remaining > 0:
+            take = min(remaining, 64)
+            value = (value << take) | (self.next_u64() >> (64 - take))
+            remaining -= take
+        return value

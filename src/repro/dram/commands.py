@@ -1,0 +1,53 @@
+"""DRAM command vocabulary and mitigation scopes.
+
+The request-level model does not schedule individual commands on a cycle
+clock, but it still accounts for them: every serviced request is decomposed
+into the commands it implies (ACT, RD or WR, implicit PRE) and every
+mitigation is charged as the refresh command the configuration selects
+(VRR / DRFMsb / RFMsb) with its blocking scope and duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CommandKind(str, Enum):
+    """DDR5 commands tracked by the simulator for statistics and energy."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"           # auto refresh (per rank, every tREFI)
+    VRR = "VRR"           # victim row refresh (per-bank mitigation)
+    DRFM_SB = "DRFMsb"    # same-bank directed refresh management
+    RFM_SB = "RFMsb"      # same-bank refresh management
+
+
+class MitigationScope(str, Enum):
+    """How much of the DRAM system a mitigation or reset blocks."""
+
+    BANK = "bank"                          # a single bank
+    SAME_BANK_ALL_GROUPS = "same-bank"     # same bank index in every bank group
+    RANK = "rank"                          # every bank of one rank
+    CHANNEL = "channel"                    # every bank of one channel
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """A period during which part of the DRAM system cannot serve requests.
+
+    Blackouts model both mitigative refreshes (short, bank-scoped) and
+    full-structure resets (long, rank- or channel-scoped), e.g. CoMeT and
+    ABACUS refreshing every DRAM row to reset their shared counters.
+    """
+
+    scope: MitigationScope
+    channel: int
+    rank: int
+    bank_group: int = 0
+    bank: int = 0
+    duration_ns: float = 0.0
+    reason: str = ""

@@ -1,0 +1,96 @@
+"""DRAMPower-style energy accounting.
+
+The paper reports the energy overhead of DAPPER-H (Table IV) measured with
+DRAMPower.  We reproduce that with a per-command energy model: each command
+class is charged a nominal energy, and background power is charged for the
+total simulated time.  Overheads are reported as ratios against a baseline
+run, so the absolute constants matter far less than the relative number of
+extra ACT/RD/WR/refresh operations a mitigation injects.
+
+The default per-command energies are representative DDR5 x16 device values
+(per 64B access across the rank) and can be overridden through
+:class:`EnergyParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import CommandKind
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-command energies (nanojoules) and background power (watts)."""
+
+    act_pre_nj: float = 2.0          # one ACT + implicit PRE
+    rd_nj: float = 1.3               # one 64B read burst
+    wr_nj: float = 1.5               # one 64B write burst
+    ref_nj: float = 60.0             # one all-bank auto refresh (per rank)
+    victim_refresh_nj: float = 4.0   # refresh of one victim row (VRR/DRFM)
+    background_watts: float = 0.35   # per rank background/standby power
+
+    def command_energy_nj(self, kind: CommandKind, count: int = 1) -> float:
+        """Energy for ``count`` commands of the given kind."""
+        table = {
+            CommandKind.ACT: self.act_pre_nj,
+            CommandKind.PRE: 0.0,
+            CommandKind.RD: self.rd_nj,
+            CommandKind.WR: self.wr_nj,
+            CommandKind.REF: self.ref_nj,
+            CommandKind.VRR: self.victim_refresh_nj,
+            CommandKind.DRFM_SB: self.victim_refresh_nj,
+            CommandKind.RFM_SB: self.victim_refresh_nj,
+        }
+        return table[kind] * count
+
+
+@dataclass
+class EnergyReport:
+    """Total energy split into dynamic command energy and background energy."""
+
+    dynamic_nj: float
+    background_nj: float
+    command_counts: dict[CommandKind, int]
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.background_nj
+
+    def overhead_vs(self, baseline: "EnergyReport") -> float:
+        """Fractional energy overhead of this run relative to ``baseline``."""
+        if baseline.total_nj <= 0:
+            return 0.0
+        return (self.total_nj - baseline.total_nj) / baseline.total_nj
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates command counts and produces an :class:`EnergyReport`."""
+
+    params: EnergyParameters = field(default_factory=EnergyParameters)
+    num_ranks: int = 4
+    _counts: dict[CommandKind, int] = field(default_factory=dict)
+
+    def record(self, kind: CommandKind, count: int = 1) -> None:
+        """Record ``count`` commands of kind ``kind``."""
+        self._counts[kind] = self._counts.get(kind, 0) + count
+
+    @property
+    def counts(self) -> dict[CommandKind, int]:
+        return dict(self._counts)
+
+    def report(self, elapsed_ns: float) -> EnergyReport:
+        """Produce the energy report for a run of ``elapsed_ns`` nanoseconds."""
+        dynamic = sum(
+            self.params.command_energy_nj(kind, count)
+            for kind, count in self._counts.items()
+        )
+        background = (
+            self.params.background_watts * self.num_ranks * elapsed_ns * 1e-9 * 1e9
+        )  # W * s -> J -> nJ
+        return EnergyReport(
+            dynamic_nj=dynamic,
+            background_nj=background,
+            command_counts=dict(self._counts),
+        )

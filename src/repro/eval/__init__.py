@@ -1,0 +1,11 @@
+"""Per-figure and per-table experiment definitions.
+
+Each function regenerates the data behind one figure or table of the paper
+and returns it as a :class:`repro.eval.report.FigureData`, which the
+benchmarks print as the rows/series the paper reports.
+"""
+
+from repro.eval.report import FigureData, format_table, print_figure
+from repro.eval import figures, tables
+
+__all__ = ["FigureData", "format_table", "print_figure", "figures", "tables"]

@@ -1,0 +1,84 @@
+"""Reporting helpers for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureData:
+    """Data behind one figure or table of the paper.
+
+    ``rows`` is a list of flat dictionaries (one per bar / point / table row);
+    ``notes`` records scaling decisions or paper reference values so that the
+    printed output is self-describing.
+    """
+
+    name: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, key: str) -> list:
+        return [row.get(key) for row in self.rows]
+
+    def filter(self, **criteria) -> list[dict]:
+        """Rows matching every ``key=value`` criterion."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def value(self, value_key: str, **criteria) -> float:
+        """The single value of ``value_key`` in the row matching ``criteria``."""
+        rows = self.filter(**criteria)
+        if len(rows) != 1:
+            raise KeyError(
+                f"expected exactly one row matching {criteria}, found {len(rows)}"
+            )
+        return rows[0][value_key]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: list[dict]) -> str:
+    """Format a list of dictionaries as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(_format_cell(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = [
+        "  ".join(column.ljust(widths[column]) for column in columns),
+        "  ".join("-" * widths[column] for column in columns),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _format_cell(row.get(column, "")).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_figure(figure: FigureData) -> None:
+    """Print a figure's rows (and notes) in the paper's table-like form."""
+    print(f"\n=== {figure.name}: {figure.title} ===")
+    print(format_table(figure.rows))
+    for note in figure.notes:
+        print(f"note: {note}")

@@ -1,0 +1,5 @@
+"""Memory controller: request servicing, tracker integration, mitigation."""
+
+from repro.mc.controller import ControllerStats, MemoryController
+
+__all__ = ["MemoryController", "ControllerStats"]

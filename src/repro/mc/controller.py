@@ -1,0 +1,213 @@
+"""The host-side memory controller.
+
+The controller sits between the shared LLC and the DRAM timing model.  For
+every request it:
+
+1. decodes the physical address into DRAM coordinates,
+2. asks the RowHammer tracker whether the request must be throttled
+   (BlockHammer-style mitigations),
+3. services the request through :class:`repro.dram.DRAMSystem`,
+4. reports the resulting activation (if any) to the tracker and carries out
+   whatever the tracker asks for: extra DRAM accesses to in-DRAM counters,
+   victim refreshes, bulk group refreshes, or structure-reset blackouts,
+5. keeps the optional ground-truth security auditor informed so every
+   simulation can also double as a RowHammer-security check.
+
+It also notifies the tracker of refresh-window (tREFW) boundaries, which is
+when periodic structure resets and DAPPER's re-keying happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.dram.address import AddressMapper, RowAddress
+from repro.dram.commands import Blackout, CommandKind, MitigationScope
+from repro.dram.dram_system import DRAMSystem
+from repro.trackers.base import GroupMitigation, RowHammerTracker, TrackerResponse
+
+
+@dataclass
+class ControllerStats:
+    """Controller-level statistics."""
+
+    requests: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    throttled_requests: int = 0
+    throttle_time_ns: float = 0.0
+    tracker_counter_accesses: int = 0
+    mitigation_refreshes: int = 0
+    group_mitigations: int = 0
+    structure_reset_blackouts: int = 0
+    refresh_windows: int = 0
+
+
+class MemoryController:
+    """Services memory requests and drives the RowHammer tracker."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        dram: DRAMSystem,
+        tracker: RowHammerTracker,
+        mapper: AddressMapper | None = None,
+        auditor=None,
+    ):
+        self.config = config
+        self.dram = dram
+        self.tracker = tracker
+        self.mapper = mapper or AddressMapper(config.dram)
+        self.auditor = auditor
+        self.stats = ControllerStats()
+        self._last_refresh_window = 0
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+
+    def service(
+        self,
+        address: int,
+        is_write: bool,
+        earliest_ns: float,
+        core_id: int = 0,
+    ) -> float:
+        """Service one request and return its completion time."""
+        self.stats.requests += 1
+        if is_write:
+            self.stats.write_requests += 1
+        else:
+            self.stats.read_requests += 1
+
+        self._check_refresh_window(earliest_ns)
+
+        decoded = self.mapper.decode(address)
+        row_addr = decoded.row_address
+
+        self.tracker.note_request_source(core_id)
+
+        delay = self.tracker.throttle_delay_ns(row_addr, earliest_ns)
+        if delay > 0.0:
+            self.stats.throttled_requests += 1
+            self.stats.throttle_time_ns += delay
+            earliest_ns += delay
+
+        result = self.dram.access(
+            decoded,
+            is_write,
+            earliest_ns,
+            extra_act_delay_ns=self.tracker.activation_extension_ns(),
+        )
+
+        if result.activated:
+            if self.auditor is not None:
+                self.auditor.on_activation(row_addr, result.completion_ns)
+            response = self.tracker.on_activation(row_addr, result.completion_ns)
+            if not response.is_empty:
+                self._apply_response(response, row_addr, result.completion_ns)
+
+        completion_ns = result.completion_ns
+        response_delay = self.tracker.completion_delay_ns(row_addr, completion_ns)
+        if response_delay > 0.0:
+            self.stats.throttled_requests += 1
+            self.stats.throttle_time_ns += response_delay
+            completion_ns += response_delay
+
+        return completion_ns
+
+    # ------------------------------------------------------------------ #
+    # Tracker response handling
+    # ------------------------------------------------------------------ #
+
+    def _apply_response(
+        self,
+        response: TrackerResponse,
+        trigger: RowAddress,
+        now_ns: float,
+    ) -> None:
+        channel = trigger.bank.channel
+        rank = trigger.bank.rank
+
+        for _ in range(response.counter_reads):
+            self.dram.counter_access(channel, rank, now_ns, is_write=False)
+            self.stats.tracker_counter_accesses += 1
+        for _ in range(response.counter_writes):
+            self.dram.counter_access(channel, rank, now_ns, is_write=True)
+            self.stats.tracker_counter_accesses += 1
+
+        blast_radius = self.config.rowhammer.blast_radius
+        command = self.config.rowhammer.mitigation_command
+        for aggressor in response.mitigations:
+            self.dram.victim_refresh(aggressor, blast_radius, command, now_ns)
+            self.stats.mitigation_refreshes += 1
+            if self.auditor is not None:
+                self.auditor.on_mitigation(aggressor, blast_radius)
+
+        for group in response.group_mitigations:
+            self._apply_group_mitigation(group, now_ns)
+
+        for blackout in response.blackouts:
+            self.dram.apply_blackout(blackout, now_ns)
+            self.stats.structure_reset_blackouts += 1
+            # A rank/channel-wide blackout issued by a tracker corresponds to
+            # refreshing every row of that scope, so the ground truth resets.
+            if self.auditor is not None and blackout.scope in (
+                MitigationScope.RANK,
+                MitigationScope.CHANNEL,
+            ):
+                reset_rank = (
+                    blackout.rank if blackout.scope is MitigationScope.RANK else None
+                )
+                self.auditor.on_structure_reset(blackout.channel, reset_rank)
+            # Charge the bulk refresh energy as the equivalent number of
+            # auto-refresh commands.
+            refresh_equivalents = max(
+                1, int(blackout.duration_ns / self.config.timings.trfc_ns)
+            )
+            self.dram.energy.record(CommandKind.REF, refresh_equivalents)
+
+    def _apply_group_mitigation(self, group: GroupMitigation, now_ns: float) -> None:
+        """Charge a DAPPER-S style bulk refresh of one row group.
+
+        Every bank of the rank refreshes its share of the group's member rows
+        in parallel, so the rank is blocked for ``rows_per_bank * victims *
+        tVRR`` and the energy of all the victim refreshes is charged.
+        """
+        blast_radius = self.config.rowhammer.blast_radius
+        victims_per_row = 2 * blast_radius
+        duration = (
+            group.rows_per_bank
+            * victims_per_row
+            * self.config.timings.vrr_per_victim_ns
+        )
+        blackout = Blackout(
+            scope=MitigationScope.RANK,
+            channel=group.channel,
+            rank=group.rank,
+            duration_ns=duration,
+            reason=group.reason,
+        )
+        self.dram.apply_blackout(blackout, now_ns)
+        self.dram.energy.record(CommandKind.VRR, group.num_rows * victims_per_row)
+        self.dram.stats.victim_refreshes += group.num_rows
+        self.dram.stats.victim_rows_refreshed += group.num_rows * victims_per_row
+        self.stats.group_mitigations += 1
+        if self.auditor is not None:
+            self.auditor.on_group_mitigation(group)
+
+    # ------------------------------------------------------------------ #
+    # Refresh window bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _check_refresh_window(self, now_ns: float) -> None:
+        window = int(now_ns // self.config.timings.trefw_ns)
+        if window <= self._last_refresh_window:
+            return
+        for crossed in range(self._last_refresh_window + 1, window + 1):
+            self.tracker.on_refresh_window(crossed, now_ns)
+            if self.auditor is not None:
+                self.auditor.on_refresh_window(crossed)
+            self.stats.refresh_windows += 1
+        self._last_refresh_window = window

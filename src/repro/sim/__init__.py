@@ -1,0 +1,28 @@
+"""Simulation drivers: the multi-core simulator, metrics, and experiment
+helpers used by the evaluation harness, examples and benchmarks.
+"""
+
+from repro.sim.metrics import (
+    geometric_mean,
+    normalized_performance,
+    slowdown_percent,
+    weighted_speedup,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.experiment import (
+    ExperimentRunner,
+    WorkloadRun,
+    run_workload,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationResult",
+    "run_workload",
+    "WorkloadRun",
+    "ExperimentRunner",
+    "normalized_performance",
+    "weighted_speedup",
+    "slowdown_percent",
+    "geometric_mean",
+]

@@ -1,0 +1,47 @@
+"""Performance metrics used by the evaluation.
+
+The paper reports *normalized performance*: the performance of the benign
+applications under a given mitigation (and possibly an attack), normalised to
+the insecure baseline system running the same benign applications with no
+mitigation and no attacker.  We compute it as the mean per-core IPC ratio over
+the benign cores, which for homogeneous benign copies equals the normalised
+weighted speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (returns 0 for an empty sequence or any zero value)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def weighted_speedup(ipcs: Sequence[float], baseline_ipcs: Sequence[float]) -> float:
+    """Sum of per-core IPC ratios (the classic multi-programme metric)."""
+    if len(ipcs) != len(baseline_ipcs):
+        raise ValueError("ipcs and baseline_ipcs must have the same length")
+    return sum(
+        ipc / base if base > 0 else 0.0 for ipc, base in zip(ipcs, baseline_ipcs)
+    )
+
+
+def normalized_performance(
+    ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Average per-core IPC ratio against the baseline (1.0 = no slowdown)."""
+    if not ipcs:
+        return 0.0
+    return weighted_speedup(ipcs, baseline_ipcs) / len(ipcs)
+
+
+def slowdown_percent(normalized: float) -> float:
+    """Convert a normalized-performance value into a percentage slowdown."""
+    return (1.0 - normalized) * 100.0

@@ -1,0 +1,223 @@
+"""The multi-core, trace-driven system simulator.
+
+A :class:`Simulator` owns one instance of every substrate -- the shared LLC,
+the memory controller with its RowHammer tracker, the DRAM timing model, and
+one :class:`~repro.cpu.core.CoreModel` per core -- and advances them in global
+time order.  Cores are driven by request generators: benign cores replay
+synthetic workload traces, attacker cores replay attack kernels, and idle
+cores generate nothing.
+
+The simulation ends when every *benign* core has issued its request budget
+(attackers have no budget; they provide pressure for as long as the benign
+cores run), after which per-core IPCs, DRAM/LLC/tracker statistics, the energy
+report and the optional security audit are collected into a
+:class:`SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.analysis.security import GroundTruthAuditor, SecurityReport
+from repro.cache.llc import CacheStats, SharedLLC
+from repro.config import SystemConfig
+from repro.cpu.core import CoreModel, CoreResult
+from repro.cpu.trace import RequestGenerator
+from repro.dram.address import AddressMapper
+from repro.dram.dram_system import DRAMStats, DRAMSystem
+from repro.dram.energy import EnergyReport
+from repro.mc.controller import ControllerStats, MemoryController
+from repro.trackers.base import RowHammerTracker, TrackerStats
+from repro.trackers.registry import create_tracker
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Describes one core of a simulation scenario."""
+
+    generator: RequestGenerator | None
+    request_budget: int | None
+    mean_gap_instructions: float = 50.0
+    is_attacker: bool = False
+    #: Attack kernels use aggressive software prefetching / deep MLP; this
+    #: overrides the per-core outstanding-miss limit for such cores.
+    max_outstanding_override: int | None = None
+
+    @property
+    def is_idle(self) -> bool:
+        return self.generator is None
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation produces."""
+
+    tracker_name: str
+    core_results: tuple[CoreResult, ...]
+    elapsed_ns: float
+    dram_stats: DRAMStats
+    llc_stats: CacheStats
+    controller_stats: ControllerStats
+    tracker_stats: TrackerStats
+    energy: EnergyReport
+    security: SecurityReport | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def benign_results(self) -> tuple[CoreResult, ...]:
+        return tuple(result for result in self.core_results if not result.is_attacker)
+
+    def benign_ipcs(self) -> list[float]:
+        return [result.ipc for result in self.benign_results()]
+
+    def ipc_of(self, core_id: int) -> float:
+        for result in self.core_results:
+            if result.core_id == core_id:
+                return result.ipc
+        raise KeyError(f"no core {core_id}")
+
+
+class Simulator:
+    """Runs one multi-core scenario to completion."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        tracker: RowHammerTracker | str,
+        core_specs: list[CoreSpec],
+        enable_auditor: bool = False,
+        llc_warmup_accesses: int = 0,
+    ):
+        """``llc_warmup_accesses`` pre-plays that many accesses per core
+        through the shared LLC (tags only, no timing) before measurement, so
+        short windows start from a warm steady-state cache instead of a cold
+        one."""
+        if not core_specs:
+            raise ValueError("at least one core is required")
+        self.config = config
+        self.mapper = AddressMapper(config.dram)
+        self.llc = SharedLLC(config.llc)
+        self.dram = DRAMSystem(config)
+        if isinstance(tracker, str):
+            tracker = create_tracker(tracker, config)
+        self.tracker = tracker
+        self.tracker.configure_llc(self.llc)
+        self.auditor = GroundTruthAuditor(config) if enable_auditor else None
+        self.controller = MemoryController(
+            config, self.dram, self.tracker, self.mapper, auditor=self.auditor
+        )
+        self.core_specs = core_specs
+        self.llc_warmup_accesses = llc_warmup_accesses
+        self.cores: list[CoreModel] = []
+        for core_id, spec in enumerate(core_specs):
+            if spec.is_idle:
+                continue
+            self.cores.append(
+                CoreModel(
+                    core_id=core_id,
+                    config=config.cores,
+                    generator=spec.generator,
+                    request_budget=spec.request_budget,
+                    mean_gap_instructions=spec.mean_gap_instructions,
+                    is_attacker=spec.is_attacker,
+                    max_outstanding_override=spec.max_outstanding_override,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def _warm_llc(self) -> None:
+        """Pre-play accesses through the LLC so it starts warm (round-robin
+        over every core that goes through the cache)."""
+        if self.llc_warmup_accesses <= 0:
+            return
+        warm_cores = [
+            core for core in self.cores if not core.generator.bypasses_llc
+        ]
+        if not warm_cores:
+            return
+        for _ in range(self.llc_warmup_accesses):
+            for core in warm_cores:
+                entry = core.generator.next_entry()
+                self.llc.access(entry.address, entry.is_write, core.core_id)
+        # Warm-up accesses should not count towards the measured statistics.
+        self.llc.stats = type(self.llc.stats)()
+
+    def run(self) -> SimulationResult:
+        """Advance every core until all benign budgets are exhausted."""
+        self._warm_llc()
+        cores_by_id = {core.core_id: core for core in self.cores}
+        benign_pending = {
+            core.core_id
+            for core in self.cores
+            if core.request_budget is not None
+        }
+        if not benign_pending:
+            raise ValueError("at least one core needs a finite request budget")
+
+        sequence = 0
+        heap: list[tuple[float, int, int]] = []
+        for core in self.cores:
+            heapq.heappush(heap, (core.next_event_time(), sequence, core.core_id))
+            sequence += 1
+
+        while benign_pending and heap:
+            _, _, core_id = heapq.heappop(heap)
+            core = cores_by_id[core_id]
+
+            entry = core.generator.next_entry()
+            issue_ns = core.begin_request(entry)
+            completion_ns = self._service(core, entry, issue_ns)
+            if not entry.is_write:
+                core.complete_read(completion_ns)
+            core.note_progress()
+
+            if core.request_budget is not None and core.budget_reached:
+                benign_pending.discard(core_id)
+                continue
+            heapq.heappush(heap, (core.next_event_time(), sequence, core_id))
+            sequence += 1
+
+        return self._collect()
+
+    # ------------------------------------------------------------------ #
+
+    def _service(self, core: CoreModel, entry, issue_ns: float) -> float:
+        """Send one request through the LLC and (on a miss) the DRAM."""
+        if core.generator.bypasses_llc:
+            return self.controller.service(
+                entry.address, entry.is_write, issue_ns, core.core_id
+            )
+
+        llc_result = self.llc.access(entry.address, entry.is_write, core.core_id)
+        if llc_result.hit:
+            return issue_ns + self.config.llc.hit_latency_ns
+
+        completion = self.controller.service(
+            entry.address, entry.is_write, issue_ns, core.core_id
+        )
+        if llc_result.writeback and llc_result.evicted_line is not None:
+            writeback_address = (
+                llc_result.evicted_line * self.config.llc.line_size_bytes
+            )
+            self.controller.service(
+                writeback_address, True, completion, core.core_id
+            )
+        return completion + self.config.llc.hit_latency_ns
+
+    def _collect(self) -> SimulationResult:
+        core_results = tuple(core.result() for core in self.cores)
+        elapsed = max(
+            (result.finish_time_ns for result in core_results), default=0.0
+        )
+        return SimulationResult(
+            tracker_name=self.tracker.name,
+            core_results=core_results,
+            elapsed_ns=elapsed,
+            dram_stats=self.dram.stats,
+            llc_stats=self.llc.stats,
+            controller_stats=self.controller.stats,
+            tracker_stats=self.tracker.stats,
+            energy=self.dram.energy_report(elapsed),
+            security=self.auditor.report() if self.auditor is not None else None,
+        )

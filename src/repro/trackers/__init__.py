@@ -1,0 +1,56 @@
+"""Host-side RowHammer trackers.
+
+This package contains the tracker interface shared by every mitigation
+(:mod:`repro.trackers.base`), the generic counting structures they build on
+(:mod:`repro.trackers.structures`), and a re-implementation of every baseline
+the paper compares against: Hydra, START, CoMeT, ABACUS, BlockHammer, PARA,
+PrIDE and PRAC.  Two related-work designs discussed but not evaluated by the
+paper -- Graphene (the precise per-bank tracker whose storage does not scale)
+and MINT (a minimalist RFM-paced in-DRAM sampler) -- are included as extra
+baselines, together with the BreakHammer thread-throttling shim that can be
+composed with any tracker.  The paper's own contribution, DAPPER-S and
+DAPPER-H, lives in :mod:`repro.core`.
+"""
+
+from repro.trackers.base import (
+    GroupMitigation,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+    TrackerStats,
+)
+from repro.trackers.none import NoMitigation
+from repro.trackers.hydra import HydraTracker
+from repro.trackers.start import StartTracker
+from repro.trackers.comet import CoMeTTracker
+from repro.trackers.abacus import AbacusTracker
+from repro.trackers.blockhammer import BlockHammerTracker
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.mint import MintTracker
+from repro.trackers.para import ParaTracker
+from repro.trackers.pride import PrideTracker
+from repro.trackers.prac import PracTracker
+from repro.trackers.throttling import BreakHammerShim
+from repro.trackers.registry import available_trackers, create_tracker
+
+__all__ = [
+    "RowHammerTracker",
+    "TrackerResponse",
+    "TrackerStats",
+    "StorageReport",
+    "GroupMitigation",
+    "NoMitigation",
+    "HydraTracker",
+    "StartTracker",
+    "CoMeTTracker",
+    "AbacusTracker",
+    "BlockHammerTracker",
+    "GrapheneTracker",
+    "MintTracker",
+    "ParaTracker",
+    "PrideTracker",
+    "PracTracker",
+    "BreakHammerShim",
+    "available_trackers",
+    "create_tracker",
+]

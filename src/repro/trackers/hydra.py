@@ -1,0 +1,148 @@
+"""Hydra: hybrid group/per-row tracking with in-DRAM counters (ISCA 2022).
+
+Hydra keeps a small SRAM Group Counter Table (GCT) whose entries are shared by
+groups of 128 rows.  When a group counter crosses 80% of the mitigation
+threshold, the group switches to precise per-row tracking: per-row counters
+live in a reserved DRAM region (the Row Counter Table, RCT) and a small Row
+Counter Cache (RCC, 4K entries per rank, 32-way, random eviction) caches the
+hot ones inside the memory controller.  An RCC miss costs one DRAM read (fetch
+the counter) plus one DRAM write (write back the evicted counter) -- exactly
+the traffic the paper's Perf-Attack amplifies by forcing RCC set conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.dram.address import RowAddress
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+from repro.trackers.structures import SetAssociativeCounterCache
+
+
+@dataclass
+class _RankTrackingState:
+    """Per-rank Hydra state: group counters, per-row mode set, RCC, RCT."""
+
+    gct: dict[tuple[int, int], int] = field(default_factory=dict)
+    per_row_groups: set[tuple[int, int]] = field(default_factory=set)
+    rct: dict[int, int] = field(default_factory=dict)
+    rcc: SetAssociativeCounterCache | None = None
+
+
+class HydraTracker(RowHammerTracker):
+    """Hydra with the paper's configuration (GC size 128, 4K-entry RCC)."""
+
+    name = "hydra"
+
+    GROUP_SIZE = 128
+    RCC_ENTRIES = 4096
+    RCC_WAYS = 32
+    GROUP_THRESHOLD_FRACTION = 0.8
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.group_threshold = max(
+            1, int(self.mitigation_threshold * self.GROUP_THRESHOLD_FRACTION)
+        )
+        self._ranks: dict[tuple[int, int], _RankTrackingState] = {}
+        self._rcc_seed = config.seed ^ 0x48_59_44_52  # "HYDR"
+
+    # ------------------------------------------------------------------ #
+
+    def _rank_state(self, channel: int, rank: int) -> _RankTrackingState:
+        key = (channel, rank)
+        state = self._ranks.get(key)
+        if state is None:
+            state = _RankTrackingState(
+                rcc=SetAssociativeCounterCache(
+                    num_entries=self.RCC_ENTRIES,
+                    ways=self.RCC_WAYS,
+                    seed=self._rcc_seed ^ hash(key),
+                    eviction="random",
+                )
+            )
+            self._ranks[key] = state
+        return state
+
+    @staticmethod
+    def _row_key(bank_local: int, row: int, rows_per_bank: int) -> int:
+        # Row index in the low bits so that the RCC set index is ``row % sets``
+        # (the structure the tailored Perf-Attack exploits).
+        return bank_local * rows_per_bank + row
+
+    # ------------------------------------------------------------------ #
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        org = self.org
+        bank_local = row.bank.rank_local_bank(org)
+        state = self._rank_state(row.bank.channel, row.bank.rank)
+        group_key = (bank_local, row.row // self.GROUP_SIZE)
+
+        if group_key not in state.per_row_groups:
+            count = state.gct.get(group_key, 0) + 1
+            state.gct[group_key] = count
+            if count >= self.group_threshold:
+                state.per_row_groups.add(group_key)
+            return EMPTY_RESPONSE
+
+        # Per-row tracking through the RCC / RCT.
+        row_key = self._row_key(bank_local, row.row, org.rows_per_bank)
+        counter_reads = 0
+        counter_writes = 0
+        cached = state.rcc.lookup(row_key)
+        if cached is None:
+            counter_reads = 1
+            self.stats.counter_reads += 1
+            value = state.rct.get(row_key, self.group_threshold)
+            evicted = state.rcc.fill(row_key, value)
+            if evicted is not None:
+                counter_writes = 1
+                self.stats.counter_writes += 1
+                state.rct[evicted[0]] = evicted[1]
+            cached = value
+
+        new_value = cached + 1
+        mitigations: tuple[RowAddress, ...] = ()
+        if new_value >= self.mitigation_threshold:
+            mitigations = (row,)
+            self._note_mitigation()
+            new_value = 0
+        state.rcc.update(row_key, new_value)
+        state.rct[row_key] = new_value
+
+        if counter_reads == 0 and not mitigations:
+            return EMPTY_RESPONSE
+        return TrackerResponse(
+            counter_reads=counter_reads,
+            counter_writes=counter_writes,
+            mitigations=mitigations,
+        )
+
+    def on_refresh_window(self, window_index: int, now_ns: float) -> TrackerResponse:
+        for state in self._ranks.values():
+            state.gct.clear()
+            state.per_row_groups.clear()
+            state.rct.clear()
+            state.rcc.reset()
+        self.stats.periodic_resets += 1
+        return EMPTY_RESPONSE
+
+    # ------------------------------------------------------------------ #
+
+    def storage_report(self) -> StorageReport:
+        """SRAM per 32GB channel: GCT (per rank) + RCC tags/counters."""
+        org = self.org
+        groups_per_rank = org.rows_per_rank // self.GROUP_SIZE
+        gct_bits = groups_per_rank * 8                      # 1-byte group counters
+        rcc_bits = self.RCC_ENTRIES * (21 + 8)              # tag + counter
+        per_rank_bits = gct_bits + rcc_bits
+        sram_bytes = per_rank_bits * org.ranks_per_channel // 8
+        rct_bytes = org.rows_per_channel                    # 1 byte per row in DRAM
+        return StorageReport(sram_bytes=sram_bytes, dram_bytes=rct_bytes)

@@ -1,0 +1,100 @@
+"""MINT: a minimalist in-DRAM probabilistic tracker (Qureshi et al., MICRO 2024).
+
+MINT (reference [49] in the paper) keeps a *single* candidate row per bank.
+Activations within a mitigation window are sampled with reservoir sampling, so
+every activation of the window is equally likely to be the one mitigated when
+the bank's next refresh-management opportunity arrives.  Compared to PARA it
+issues a bounded, paced number of mitigations (one per window) instead of an
+unbounded stream of coin flips; compared to PrIDE it stores one candidate
+rather than a queue.
+
+The paper groups MINT with the RFM-paced in-DRAM mitigations whose security
+depends on receiving at least one mitigation opportunity every
+``NRH * PACE_FRACTION`` activations; at ultra-low thresholds that pacing --
+and especially its Same-Bank RFM variant -- costs DRAM bandwidth, which is the
+comparison the extended probabilistic benchmarks regenerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.crypto.prng import XorShift64
+from repro.dram.address import RowAddress
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+
+
+@dataclass
+class _BankWindow:
+    """Reservoir state of one bank's current mitigation window."""
+
+    candidate: RowAddress | None = None
+    activations: int = 0
+
+
+class MintTracker(RowHammerTracker):
+    """Single-candidate reservoir sampling paced by RFM opportunities."""
+
+    name = "mint"
+
+    #: A mitigation opportunity is granted every ``NRH * PACE_FRACTION``
+    #: activations of a bank, mirroring the RFM pacing MINT relies on.
+    PACE_FRACTION = 0.125
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.activations_per_mitigation = max(1, int(self.nrh * self.PACE_FRACTION))
+        self._banks: dict[int, _BankWindow] = {}
+        self._rng = XorShift64(config.seed ^ 0x4D494E54)  # "MINT"
+
+    def _bank_window(self, bank_flat: int) -> _BankWindow:
+        state = self._banks.get(bank_flat)
+        if state is None:
+            state = _BankWindow()
+            self._banks[bank_flat] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        state = self._bank_window(row.bank.flat(self.org))
+        state.activations += 1
+
+        # Reservoir sampling: the i-th activation of the window replaces the
+        # candidate with probability 1/i, making every activation equally
+        # likely to be mitigated at the end of the window.
+        if self._rng.next_below(state.activations) == 0:
+            state.candidate = row
+
+        if state.activations < self.activations_per_mitigation:
+            return EMPTY_RESPONSE
+
+        target = state.candidate if state.candidate is not None else row
+        state.candidate = None
+        state.activations = 0
+        self._note_mitigation()
+        return TrackerResponse(mitigations=(target,))
+
+    def on_refresh_window(self, window_index: int, now_ns: float) -> TrackerResponse:
+        for state in self._banks.values():
+            state.candidate = None
+            state.activations = 0
+        return EMPTY_RESPONSE
+
+    # ------------------------------------------------------------------ #
+
+    def storage_report(self) -> StorageReport:
+        # One candidate row id plus one activation counter per bank.
+        row_id_bits = max(1, (self.org.rows_per_bank - 1).bit_length())
+        counter_bits = max(1, (self.activations_per_mitigation).bit_length())
+        per_bank_bits = row_id_bits + counter_bits
+        return StorageReport(
+            sram_bytes=per_bank_bits * self.org.banks_per_channel // 8
+        )

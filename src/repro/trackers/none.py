@@ -1,0 +1,22 @@
+"""The insecure baseline: no RowHammer mitigation at all.
+
+Every performance figure in the paper is normalised against this baseline.
+"""
+
+from __future__ import annotations
+
+from repro.dram.address import RowAddress
+from repro.trackers.base import EMPTY_RESPONSE, RowHammerTracker, StorageReport, TrackerResponse
+
+
+class NoMitigation(RowHammerTracker):
+    """Tracks nothing and never mitigates."""
+
+    name = "none"
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        return EMPTY_RESPONSE
+
+    def storage_report(self) -> StorageReport:
+        return StorageReport()

@@ -1,0 +1,46 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+PARA is stateless: on every activation it refreshes the neighbours of the
+activated row with a small probability ``p``.  To remain secure as the
+RowHammer threshold drops, ``p`` must grow roughly as ``1/NRH``, which is why
+its overhead rises sharply at ultra-low thresholds (and further when the
+mitigation uses the heavyweight DRFMsb command).
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.dram.address import RowAddress
+from repro.crypto.prng import XorShift64
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+
+
+class ParaTracker(RowHammerTracker):
+    """Stateless probabilistic mitigation."""
+
+    name = "para"
+
+    #: Scaling constant for the per-activation mitigation probability: the
+    #: probability that an aggressor escapes mitigation over NRH/2 activations
+    #: is (1-p)^(NRH/2) ~= exp(-SCALE/2), i.e. well below 1% per window.
+    PROBABILITY_SCALE = 11.0
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.probability = min(1.0, self.PROBABILITY_SCALE / max(1, self.nrh))
+        self._rng = XorShift64(config.seed ^ 0x50415241)  # "PARA"
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        if self._rng.next_float() < self.probability:
+            self._note_mitigation()
+            return TrackerResponse(mitigations=(row,))
+        return EMPTY_RESPONSE
+
+    def storage_report(self) -> StorageReport:
+        return StorageReport(sram_bytes=16)   # just the PRNG / threshold state

@@ -1,0 +1,57 @@
+"""PRAC: Per-Row Activation Counting with Alert Back-Off (JEDEC DDR5 / QPRAC).
+
+PRAC keeps an activation counter inside every DRAM row.  Updating the counter
+requires a read-modify-write on every activation, which lengthens the row
+cycle and costs roughly constant performance regardless of the RowHammer
+threshold; in exchange, tracking is exact and Perf-Attacks gain little.  The
+mitigation path follows the QPRAC formulation: when a row's counter crosses
+the back-off threshold the DRAM raises an alert and the controller services
+the mitigation during a refresh-management opportunity.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.dram.address import RowAddress
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+
+
+class PracTracker(RowHammerTracker):
+    """PRAC/QPRAC-style per-row counting in DRAM."""
+
+    name = "prac"
+
+    #: Additional time each activation takes for the counter read-modify-write
+    #: (the tRC extension PRAC imposes).
+    ACT_EXTENSION_NS = 10.0
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self._counters: dict[tuple[int, int], int] = {}
+
+    def activation_extension_ns(self) -> float:
+        return self.ACT_EXTENSION_NS
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        key = (row.bank.flat(self.org), row.row)
+        count = self._counters.get(key, 0) + 1
+        if count >= self.mitigation_threshold:
+            self._counters[key] = 0
+            self._note_mitigation()
+            return TrackerResponse(mitigations=(row,))
+        self._counters[key] = count
+        return EMPTY_RESPONSE
+
+    def on_refresh_window(self, window_index: int, now_ns: float) -> TrackerResponse:
+        self._counters.clear()
+        return EMPTY_RESPONSE
+
+    def storage_report(self) -> StorageReport:
+        # Counters live inside the DRAM array; the controller needs no SRAM.
+        return StorageReport(dram_bytes=self.org.rows_per_channel * 2)

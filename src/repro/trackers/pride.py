@@ -1,0 +1,86 @@
+"""PrIDE: probabilistic in-DRAM mitigation paced by RFM commands (ISCA 2024).
+
+PrIDE samples activations into a small per-bank FIFO and performs the queued
+mitigations on periodic refresh-management opportunities.  The number of
+mitigation opportunities each bank needs per refresh window scales inversely
+with the RowHammer threshold, so -- like PARA -- PrIDE becomes expensive at
+ultra-low thresholds, and more so when the mitigation command blocks several
+banks (RFMsb).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.crypto.prng import XorShift64
+from repro.dram.address import RowAddress
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+
+
+@dataclass
+class _BankQueue:
+    """Per-bank sampling queue and activation budget."""
+
+    queue: deque = field(default_factory=lambda: deque(maxlen=2))
+    activations_since_mitigation: int = 0
+
+
+class PrideTracker(RowHammerTracker):
+    """PrIDE with 2-entry per-bank sampling queues."""
+
+    name = "pride"
+
+    QUEUE_ENTRIES = 2
+    SAMPLE_PROBABILITY = 1.0 / 16.0
+    #: A mitigation opportunity is granted every ``NRH * PACE_FRACTION``
+    #: activations of a bank (the RFM pacing the design relies on).
+    PACE_FRACTION = 0.125
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        self.activations_per_mitigation = max(
+            1, int(self.nrh * self.PACE_FRACTION)
+        )
+        self._banks: dict[int, _BankQueue] = {}
+        self._rng = XorShift64(config.seed ^ 0x50524944)  # "PRID"
+
+    def _bank_queue(self, bank_flat: int) -> _BankQueue:
+        state = self._banks.get(bank_flat)
+        if state is None:
+            state = _BankQueue(queue=deque(maxlen=self.QUEUE_ENTRIES))
+            self._banks[bank_flat] = state
+        return state
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        state = self._bank_queue(row.bank.flat(self.org))
+        state.activations_since_mitigation += 1
+
+        if self._rng.next_float() < self.SAMPLE_PROBABILITY:
+            state.queue.append(row)
+
+        if state.activations_since_mitigation >= self.activations_per_mitigation:
+            state.activations_since_mitigation = 0
+            target = state.queue.popleft() if state.queue else row
+            self._note_mitigation()
+            return TrackerResponse(mitigations=(target,))
+        return EMPTY_RESPONSE
+
+    def on_refresh_window(self, window_index: int, now_ns: float) -> TrackerResponse:
+        for state in self._banks.values():
+            state.queue.clear()
+            state.activations_since_mitigation = 0
+        return EMPTY_RESPONSE
+
+    def storage_report(self) -> StorageReport:
+        per_bank_bits = self.QUEUE_ENTRIES * 21 + 16
+        return StorageReport(
+            sram_bytes=per_bank_bits * self.org.banks_per_channel // 8
+        )

@@ -1,0 +1,88 @@
+"""Factory registry mapping tracker names to implementations.
+
+The evaluation harness and the examples create trackers by name; this module
+is the single place that knows every available mitigation, including the
+DAPPER trackers that live in :mod:`repro.core`.
+
+Two kinds of names are accepted:
+
+* plain tracker names such as ``"dapper-h"`` or ``"hydra"``;
+* composed names of the form ``"breakhammer:<inner>"`` which wrap the inner
+  tracker in the :class:`repro.trackers.throttling.BreakHammerShim`
+  thread-throttling layer (Section VII-A of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import SystemConfig
+from repro.trackers.base import RowHammerTracker
+from repro.trackers.none import NoMitigation
+from repro.trackers.hydra import HydraTracker
+from repro.trackers.start import StartTracker
+from repro.trackers.comet import CoMeTTracker
+from repro.trackers.abacus import AbacusTracker
+from repro.trackers.blockhammer import BlockHammerTracker
+from repro.trackers.graphene import GrapheneTracker
+from repro.trackers.mint import MintTracker
+from repro.trackers.para import ParaTracker
+from repro.trackers.pride import PrideTracker
+from repro.trackers.prac import PracTracker
+from repro.trackers.throttling import BreakHammerShim
+
+
+def _dapper_s(config: SystemConfig) -> RowHammerTracker:
+    from repro.core.dapper_s import DapperSTracker
+
+    return DapperSTracker(config)
+
+
+def _dapper_h(config: SystemConfig) -> RowHammerTracker:
+    from repro.core.dapper_h import DapperHTracker
+
+    return DapperHTracker(config)
+
+
+_FACTORIES: dict[str, Callable[[SystemConfig], RowHammerTracker]] = {
+    "none": NoMitigation,
+    "hydra": HydraTracker,
+    "start": StartTracker,
+    "comet": CoMeTTracker,
+    "abacus": AbacusTracker,
+    "blockhammer": BlockHammerTracker,
+    "graphene": GrapheneTracker,
+    "mint": MintTracker,
+    "para": ParaTracker,
+    "pride": PrideTracker,
+    "prac": PracTracker,
+    "dapper-s": _dapper_s,
+    "dapper-h": _dapper_h,
+}
+
+#: Prefix used to compose the BreakHammer thread-throttling shim with any
+#: registered tracker, e.g. ``"breakhammer:dapper-h"`` or ``"breakhammer:hydra"``.
+BREAKHAMMER_PREFIX = "breakhammer:"
+
+
+def available_trackers() -> tuple[str, ...]:
+    """Names of every registered tracker."""
+    return tuple(_FACTORIES)
+
+
+def create_tracker(name: str, config: SystemConfig) -> RowHammerTracker:
+    """Instantiate a tracker by name.
+
+    ``"breakhammer:<inner>"`` wraps the inner tracker in the BreakHammer
+    thread-throttling shim.
+    """
+    if name.startswith(BREAKHAMMER_PREFIX):
+        inner_name = name[len(BREAKHAMMER_PREFIX):]
+        return BreakHammerShim(config, create_tracker(inner_name, config))
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown tracker {name!r}; available: {', '.join(_FACTORIES)}"
+        ) from None
+    return factory(config)

@@ -1,0 +1,114 @@
+"""START: Scalable Tracking for Any RowHammer Threshold (HPCA 2024).
+
+START dedicates half of the shared last-level cache to per-row RowHammer
+counters.  When the number of rows exceeds what the reserved region can hold
+(as in the paper's evaluated system: 8M rows vs 4M counter slots), the
+counters spill to a reserved DRAM region and the LLC region acts as a counter
+cache.  START therefore hurts co-running applications in two ways that the
+Perf-Attack amplifies: the LLC capacity available to data is halved, and every
+counter-cache miss costs a DRAM read plus a write-back.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.dram.address import RowAddress
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+from repro.trackers.structures import SetAssociativeCounterCache
+
+
+class StartTracker(RowHammerTracker):
+    """START with half of the LLC reserved for RowHammer counters."""
+
+    name = "start"
+
+    #: Fraction of the LLC reserved for counters (half, per the paper).
+    RESERVED_FRACTION = 0.5
+    #: Counters per cache line (64B line, 1-byte counters).
+    COUNTERS_PER_LINE = 64
+    #: Ways of the counter cache built from the reserved region.
+    COUNTER_CACHE_WAYS = 16
+
+    def __init__(self, config: SystemConfig):
+        super().__init__(config)
+        reserved_bytes = int(config.llc.size_bytes * self.RESERVED_FRACTION)
+        lines = max(
+            self.COUNTER_CACHE_WAYS,
+            reserved_bytes // config.llc.line_size_bytes,
+        )
+        # Round down to a multiple of the associativity.
+        lines -= lines % self.COUNTER_CACHE_WAYS
+        self._reserved_bytes = reserved_bytes
+        self._counter_cache = SetAssociativeCounterCache(
+            num_entries=lines,
+            ways=self.COUNTER_CACHE_WAYS,
+            seed=config.seed ^ 0x53_54_41,  # "STA"
+            eviction="lru",
+        )
+        self._counters: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def configure_llc(self, llc) -> None:
+        reserved_ways = int(round(llc.config.ways * self.RESERVED_FRACTION))
+        llc.reserve_ways(reserved_ways)
+
+    def _global_row_index(self, row: RowAddress) -> int:
+        org = self.org
+        bank_flat = row.bank.flat(org)
+        return bank_flat * org.rows_per_bank + row.row
+
+    # ------------------------------------------------------------------ #
+
+    def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
+        self._note_activation()
+        row_index = self._global_row_index(row)
+        line_id = row_index // self.COUNTERS_PER_LINE
+
+        counter_reads = 0
+        counter_writes = 0
+        if self._counter_cache.lookup(line_id) is None:
+            counter_reads = 1
+            self.stats.counter_reads += 1
+            evicted = self._counter_cache.fill(line_id, 1)
+            if evicted is not None:
+                counter_writes = 1
+                self.stats.counter_writes += 1
+
+        count = self._counters.get(row_index, 0) + 1
+        mitigations: tuple[RowAddress, ...] = ()
+        if count >= self.mitigation_threshold:
+            mitigations = (row,)
+            self._note_mitigation()
+            count = 0
+        self._counters[row_index] = count
+
+        if counter_reads == 0 and not mitigations:
+            return EMPTY_RESPONSE
+        return TrackerResponse(
+            counter_reads=counter_reads,
+            counter_writes=counter_writes,
+            mitigations=mitigations,
+        )
+
+    def on_refresh_window(self, window_index: int, now_ns: float) -> TrackerResponse:
+        self._counters.clear()
+        self._counter_cache.reset()
+        self.stats.periodic_resets += 1
+        return EMPTY_RESPONSE
+
+    # ------------------------------------------------------------------ #
+
+    def storage_report(self) -> StorageReport:
+        # START's dedicated SRAM is tiny (allocation metadata); the real cost
+        # is the reserved LLC capacity and the spill region in DRAM.
+        return StorageReport(
+            sram_bytes=4 * 1024,
+            reserved_llc_bytes=self._reserved_bytes,
+            dram_bytes=self.org.rows_per_channel,
+        )

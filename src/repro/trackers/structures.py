@@ -1,0 +1,295 @@
+"""Generic counting structures used by the baseline RowHammer trackers.
+
+* :class:`CountMinSketch` -- CoMeT's shared counter table.
+* :class:`MisraGriesSummary` -- ABACUS' shared aggressor tracker with a
+  spillover counter and per-bank bit-vectors.
+* :class:`CountingBloomFilter` -- BlockHammer's blacklisting filter.
+* :class:`SetAssociativeCounterCache` -- Hydra's Row Counter Cache and the
+  counter-cache behaviour of START's reserved LLC region.
+
+All structures are deterministic: hash seeds are passed in explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.crypto.prng import XorShift64
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int, seed: int) -> int:
+    """Cheap deterministic 64-bit hash used by the sketch structures."""
+    x = (value ^ seed) & _MASK64
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xC4CEB9FE1A85EC53) & _MASK64
+    x ^= x >> 33
+    return x & _MASK64
+
+
+class CountMinSketch:
+    """Count-Min Sketch with ``depth`` hash rows of ``width`` counters each."""
+
+    def __init__(self, depth: int, width: int, seed: int):
+        if depth < 1 or width < 1:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self._seeds = [_mix(seed, 0x1000 + i) for i in range(depth)]
+        self._rows: list[list[int]] = [[0] * width for _ in range(depth)]
+
+    def _indices(self, key: int) -> list[int]:
+        return [
+            _mix(key, self._seeds[row]) % self.width for row in range(self.depth)
+        ]
+
+    def increment(self, key: int, amount: int = 1) -> int:
+        """Increment ``key`` and return the new (over-)estimate."""
+        estimate = None
+        for row, index in enumerate(self._indices(key)):
+            self._rows[row][index] += amount
+            value = self._rows[row][index]
+            estimate = value if estimate is None else min(estimate, value)
+        return estimate or 0
+
+    def estimate(self, key: int) -> int:
+        """Current (over-)estimate of ``key``'s count."""
+        return min(
+            self._rows[row][index] for row, index in enumerate(self._indices(key))
+        )
+
+    def reset(self) -> None:
+        for row in self._rows:
+            for index in range(self.width):
+                row[index] = 0
+
+    @property
+    def storage_bits(self) -> int:
+        """Storage assuming 1-byte counters (as the paper's configs use)."""
+        return self.depth * self.width * 8
+
+
+@dataclass
+class MisraGriesEntry:
+    """One entry of the ABACUS-style Misra-Gries summary."""
+
+    row_id: int
+    count: int
+    bank_bits: int = 0
+
+
+class MisraGriesSummary:
+    """Misra-Gries heavy-hitter summary with a spillover counter.
+
+    Follows the ABACUS formulation: the summary is shared by every bank of a
+    channel, entries are keyed by the *row identifier* (the row index inside a
+    bank, identical across sibling banks), each entry carries a per-bank
+    bit-vector used to avoid over-counting accesses coming from different
+    banks, and a spillover counter tracks the count of evicted keys.
+    """
+
+    def __init__(self, capacity: int, num_banks: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.num_banks = num_banks
+        self.spillover = 0
+        self._entries: dict[int, MisraGriesEntry] = {}
+        self._unplaced_since_spill = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, row_id: int) -> bool:
+        return row_id in self._entries
+
+    def get(self, row_id: int) -> MisraGriesEntry | None:
+        return self._entries.get(row_id)
+
+    def observe(self, row_id: int, bank_index: int) -> tuple[MisraGriesEntry | None, bool]:
+        """Observe one activation.
+
+        Returns ``(entry, counted)`` where ``entry`` is the summary entry
+        tracking the row (or ``None`` if the activation only advanced the
+        spillover counter) and ``counted`` says whether the entry's counter
+        was actually incremented (the per-bank bit-vector suppresses the first
+        activation seen from each bank).
+        """
+        bank_bit = 1 << bank_index
+        entry = self._entries.get(row_id)
+        if entry is not None:
+            if entry.bank_bits & bank_bit:
+                entry.count += 1
+                entry.bank_bits = bank_bit
+                return entry, True
+            entry.bank_bits |= bank_bit
+            return entry, False
+
+        if len(self._entries) < self.capacity:
+            entry = MisraGriesEntry(row_id=row_id, count=self.spillover + 1, bank_bits=bank_bit)
+            self._entries[row_id] = entry
+            return entry, True
+
+        # Replace an entry whose count has fallen to the spillover floor, if any.
+        victim_id = None
+        for candidate_id, candidate in self._entries.items():
+            if candidate.count <= self.spillover:
+                victim_id = candidate_id
+                break
+        if victim_id is not None:
+            del self._entries[victim_id]
+            entry = MisraGriesEntry(row_id=row_id, count=self.spillover + 1, bank_bits=bank_bit)
+            self._entries[row_id] = entry
+            return entry, True
+
+        # ABACUS spillover semantics: an unplaced activation (table full, every
+        # entry strictly above the spillover floor) advances the shared
+        # spillover counter.  Streaming over distinct row identifiers therefore
+        # advances it roughly once per ``capacity + 1`` activations, which is
+        # the overflow rate the ABACUS Perf-Attack exploits.
+        self._unplaced_since_spill += 1
+        self.spillover += 1
+        return None, False
+
+    def reset_entry(self, row_id: int) -> None:
+        """Reset a mitigated entry's count to the spillover floor."""
+        entry = self._entries.get(row_id)
+        if entry is not None:
+            entry.count = self.spillover
+            entry.bank_bits = 0
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.spillover = 0
+        self._unplaced_since_spill = 0
+
+    @property
+    def storage_bits(self) -> int:
+        # row id (16 bits) + counter (16 bits) + per-bank bit-vector.
+        return self.capacity * (16 + 16 + self.num_banks)
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter used by BlockHammer's blacklisting logic."""
+
+    def __init__(self, num_counters: int, num_hashes: int, seed: int):
+        if num_counters < 1 or num_hashes < 1:
+            raise ValueError("counters and hashes must be positive")
+        self.num_counters = num_counters
+        self.num_hashes = num_hashes
+        self._seeds = [_mix(seed, 0x2000 + i) for i in range(num_hashes)]
+        self._counters = [0] * num_counters
+
+    def _indices(self, key: int) -> list[int]:
+        return [
+            _mix(key, self._seeds[i]) % self.num_counters
+            for i in range(self.num_hashes)
+        ]
+
+    def increment(self, key: int) -> int:
+        estimate = None
+        for index in self._indices(key):
+            self._counters[index] += 1
+            value = self._counters[index]
+            estimate = value if estimate is None else min(estimate, value)
+        return estimate or 0
+
+    def estimate(self, key: int) -> int:
+        return min(self._counters[index] for index in self._indices(key))
+
+    def reset(self) -> None:
+        for index in range(self.num_counters):
+            self._counters[index] = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return self.num_counters * 16
+
+
+class SetAssociativeCounterCache:
+    """Set-associative cache of per-row counters.
+
+    Used for Hydra's Row Counter Cache (random eviction) and for modelling
+    START's reserved-LLC counter cache (LRU eviction).  The cache stores
+    ``key -> counter`` pairs; misses report whether a (dirty) victim was
+    evicted so the caller can charge the DRAM write-back.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        ways: int,
+        seed: int,
+        eviction: str = "random",
+    ):
+        if num_entries < ways or num_entries % ways != 0:
+            raise ValueError("num_entries must be a positive multiple of ways")
+        if eviction not in ("random", "lru"):
+            raise ValueError("eviction must be 'random' or 'lru'")
+        self.num_entries = num_entries
+        self.ways = ways
+        self.num_sets = num_entries // ways
+        self.eviction = eviction
+        self._rng = XorShift64(seed)
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def set_index(self, key: int) -> int:
+        """Set index of ``key`` (direct modulo so set-conflict attacks work)."""
+        return key % self.num_sets
+
+    def lookup(self, key: int) -> int | None:
+        """Return the cached counter value or ``None`` on a miss (no fill)."""
+        cache_set = self._sets[self.set_index(key)]
+        if key in cache_set:
+            if self.eviction == "lru":
+                cache_set.move_to_end(key)
+            self.hits += 1
+            return cache_set[key]
+        self.misses += 1
+        return None
+
+    def fill(self, key: int, value: int) -> tuple[int, int] | None:
+        """Insert ``key`` with ``value``.
+
+        Returns the evicted ``(key, value)`` pair if a victim had to be
+        evicted (so the caller can write it back to the DRAM backing store),
+        or ``None`` if there was room.
+        """
+        cache_set = self._sets[self.set_index(key)]
+        evicted: tuple[int, int] | None = None
+        if key not in cache_set and len(cache_set) >= self.ways:
+            if self.eviction == "random":
+                victim = list(cache_set.keys())[self._rng.next_below(len(cache_set))]
+            else:
+                victim = next(iter(cache_set))
+            evicted = (victim, cache_set.pop(victim))
+            self.evictions += 1
+        cache_set[key] = value
+        if self.eviction == "lru":
+            cache_set.move_to_end(key)
+        return evicted
+
+    def update(self, key: int, value: int) -> None:
+        """Update the counter of a key known to be resident."""
+        cache_set = self._sets[self.set_index(key)]
+        if key not in cache_set:
+            raise KeyError(f"key {key} is not resident")
+        cache_set[key] = value
+        if self.eviction == "lru":
+            cache_set.move_to_end(key)
+
+    def reset(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)

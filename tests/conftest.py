@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import baseline_config, reduced_row_config
+from repro.dram.address import AddressMapper
+
+
+@pytest.fixture
+def config():
+    """The paper's baseline configuration (Table I)."""
+    return baseline_config()
+
+
+@pytest.fixture
+def small_config():
+    """A reduced-row configuration used by simulation-heavy tests."""
+    return reduced_row_config(nrh=500, rows_per_bank=2048)
+
+
+@pytest.fixture
+def mapper(config):
+    return AddressMapper(config.dram)
+
+
+@pytest.fixture
+def small_mapper(small_config):
+    return AddressMapper(small_config.dram)

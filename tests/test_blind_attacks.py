@@ -1,0 +1,162 @@
+"""Unit tests for the knowledge-free attack kernels (paper Section III-E)."""
+
+import pytest
+
+from repro.attacks import attack_by_name
+from repro.attacks.blind import (
+    ManySidedRowHammerAttack,
+    RandomRowCapacityAttack,
+    ResetProbeAttack,
+)
+from repro.config import baseline_config
+from repro.dram.address import AddressMapper
+
+
+@pytest.fixture
+def config():
+    return baseline_config(nrh=500)
+
+
+@pytest.fixture
+def mapper(config):
+    return AddressMapper(config.dram)
+
+
+class TestRandomRowCapacityAttack:
+    def test_generates_requested_number_of_distinct_rows(self, config, mapper):
+        attack = RandomRowCapacityAttack(config.dram, mapper, num_rows=512)
+        assert attack.distinct_rows == 512
+        targets = {attack.next_entry().address for _ in range(512)}
+        assert len(targets) == 512
+
+    def test_sequence_repeats_cyclically(self, config, mapper):
+        attack = RandomRowCapacityAttack(config.dram, mapper, num_rows=64)
+        first_pass = [attack.next_entry().address for _ in range(64)]
+        second_pass = [attack.next_entry().address for _ in range(64)]
+        assert first_pass == second_pass
+
+    def test_targets_stay_within_the_requested_channel_and_banks(self, config, mapper):
+        attack = RandomRowCapacityAttack(
+            config.dram, mapper, num_rows=256, banks_used=8, channel=0
+        )
+        for _ in range(256):
+            decoded = mapper.decode(attack.next_entry().address)
+            assert decoded.channel == 0
+            bank_index = (
+                decoded.rank * config.dram.banks_per_rank
+                + decoded.bank_group * config.dram.banks_per_group
+                + decoded.bank
+            )
+            assert bank_index < 8
+
+    def test_deterministic_for_a_given_seed(self, config, mapper):
+        one = RandomRowCapacityAttack(config.dram, mapper, seed=5, num_rows=128)
+        two = RandomRowCapacityAttack(config.dram, mapper, seed=5, num_rows=128)
+        assert [one.next_entry().address for _ in range(64)] == [
+            two.next_entry().address for _ in range(64)
+        ]
+
+    def test_different_seeds_give_different_working_sets(self, config, mapper):
+        one = RandomRowCapacityAttack(config.dram, mapper, seed=1, num_rows=128)
+        two = RandomRowCapacityAttack(config.dram, mapper, seed=2, num_rows=128)
+        set_one = {one.next_entry().address for _ in range(128)}
+        set_two = {two.next_entry().address for _ in range(128)}
+        assert set_one != set_two
+
+
+class TestResetProbeAttack:
+    def test_escalates_geometrically_to_the_cap(self, config, mapper):
+        attack = ResetProbeAttack(
+            config.dram,
+            mapper,
+            initial_rows=32,
+            max_rows=256,
+            activations_per_episode=100,
+        )
+        seen_row_counts = {attack.current_rows}
+        for _ in range(100 * 5 + 10):
+            attack.next_entry()
+            seen_row_counts.add(attack.current_rows)
+        assert seen_row_counts == {32, 64, 128, 256}
+        assert attack.current_rows == 256
+
+    def test_stays_at_cap_after_probing(self, config, mapper):
+        attack = ResetProbeAttack(
+            config.dram,
+            mapper,
+            initial_rows=16,
+            max_rows=64,
+            activations_per_episode=50,
+        )
+        for _ in range(1_000):
+            attack.next_entry()
+        assert attack.current_rows == 64
+
+    def test_distinct_rows_grow_with_escalation(self, config, mapper):
+        attack = ResetProbeAttack(
+            config.dram,
+            mapper,
+            initial_rows=32,
+            max_rows=512,
+            activations_per_episode=64,
+            banks_used=16,
+        )
+        early = {attack.next_entry().address for _ in range(64)}
+        for _ in range(64 * 8):
+            attack.next_entry()
+        late = {attack.next_entry().address for _ in range(512)}
+        assert len(late) > len(early)
+
+    def test_rejects_invalid_row_bounds(self, config, mapper):
+        with pytest.raises(ValueError):
+            ResetProbeAttack(config.dram, mapper, initial_rows=0)
+        with pytest.raises(ValueError):
+            ResetProbeAttack(config.dram, mapper, initial_rows=64, max_rows=32)
+
+
+class TestManySidedRowHammerAttack:
+    def test_hammers_the_declared_aggressors_only(self, config, mapper):
+        attack = ManySidedRowHammerAttack(
+            config.dram, mapper, base_row=1000, num_aggressors=6, banks_used=2
+        )
+        aggressors = set(attack.aggressor_rows)
+        assert len(aggressors) == 6
+        for _ in range(100):
+            decoded = mapper.decode(attack.next_entry().address)
+            assert decoded.row in aggressors
+
+    def test_round_robins_across_banks(self, config, mapper):
+        attack = ManySidedRowHammerAttack(
+            config.dram, mapper, num_aggressors=2, banks_used=4
+        )
+        banks = [
+            mapper.decode(attack.next_entry().address).bank_address
+            for _ in range(8)
+        ]
+        assert len(set(banks)) == 4
+
+    def test_spacing_controls_aggressor_layout(self, config, mapper):
+        attack = ManySidedRowHammerAttack(
+            config.dram, mapper, base_row=500, num_aggressors=4, spacing=3
+        )
+        assert attack.aggressor_rows == (500, 503, 506, 509)
+
+    def test_rejects_zero_aggressors(self, config, mapper):
+        with pytest.raises(ValueError):
+            ManySidedRowHammerAttack(config.dram, mapper, num_aggressors=0)
+
+
+class TestAttackFactory:
+    def test_new_attacks_available_by_name(self, config, mapper):
+        for name, cls in [
+            ("blind-random-rows", RandomRowCapacityAttack),
+            ("blind-reset-probe", ResetProbeAttack),
+            ("many-sided-rowhammer", ManySidedRowHammerAttack),
+        ]:
+            attack = attack_by_name(name, config.dram, mapper)
+            assert isinstance(attack, cls)
+            assert attack.next_entry().address >= 0
+
+    def test_unknown_attack_still_rejected(self, config, mapper):
+        with pytest.raises(ValueError):
+            attack_by_name("not-an-attack", config.dram, mapper)

@@ -1,0 +1,174 @@
+"""Tests for the memory controller and its tracker integration."""
+
+import pytest
+
+from repro.analysis.security import GroundTruthAuditor
+from repro.config import MitigationCommand, baseline_config
+from repro.dram.address import AddressMapper, BankAddress, RowAddress
+from repro.dram.commands import Blackout, MitigationScope
+from repro.dram.dram_system import DRAMSystem
+from repro.mc.controller import MemoryController
+from repro.trackers.base import (
+    EMPTY_RESPONSE,
+    GroupMitigation,
+    RowHammerTracker,
+    StorageReport,
+    TrackerResponse,
+)
+
+
+class ScriptedTracker(RowHammerTracker):
+    """Tracker double returning a queued list of responses."""
+
+    name = "scripted"
+
+    def __init__(self, config, responses=None, throttle_ns=0.0, extension_ns=0.0):
+        super().__init__(config)
+        self.responses = list(responses or [])
+        self.throttle_ns = throttle_ns
+        self.extension_ns = extension_ns
+        self.activations = []
+        self.refresh_windows = []
+
+    def throttle_delay_ns(self, row, now_ns):
+        return self.throttle_ns
+
+    def activation_extension_ns(self):
+        return self.extension_ns
+
+    def on_activation(self, row, now_ns):
+        self.activations.append((row, now_ns))
+        if self.responses:
+            return self.responses.pop(0)
+        return EMPTY_RESPONSE
+
+    def on_refresh_window(self, window_index, now_ns):
+        self.refresh_windows.append(window_index)
+        return EMPTY_RESPONSE
+
+    def storage_report(self):
+        return StorageReport()
+
+
+@pytest.fixture
+def config():
+    return baseline_config(nrh=500)
+
+
+def _controller(config, tracker, auditor=None):
+    dram = DRAMSystem(config)
+    return MemoryController(config, dram, tracker, AddressMapper(config.dram), auditor)
+
+
+def _address(config, row=100, bank=0, channel=0):
+    return AddressMapper(config.dram).encode(
+        channel=channel, rank=0, bank_group=0, bank=bank, row=row
+    )
+
+
+class TestServicePath:
+    def test_activation_reported_to_tracker(self, config):
+        tracker = ScriptedTracker(config)
+        mc = _controller(config, tracker)
+        mc.service(_address(config, row=5), False, 0.0)
+        assert len(tracker.activations) == 1
+        assert tracker.activations[0][0].row == 5
+
+    def test_row_hit_not_reported(self, config):
+        tracker = ScriptedTracker(config)
+        mc = _controller(config, tracker)
+        first = mc.service(_address(config, row=5), False, 0.0)
+        mc.service(_address(config, row=5), False, first)
+        assert len(tracker.activations) == 1
+
+    def test_throttle_delays_completion(self, config):
+        plain = _controller(config, ScriptedTracker(config))
+        throttled = _controller(config, ScriptedTracker(config, throttle_ns=10_000.0))
+        fast = plain.service(_address(config), False, 0.0)
+        slow = throttled.service(_address(config), False, 0.0)
+        assert slow >= fast + 9_000.0
+        assert throttled.stats.throttled_requests == 1
+
+    def test_activation_extension_applied(self, config):
+        plain = _controller(config, ScriptedTracker(config))
+        extended = _controller(config, ScriptedTracker(config, extension_ns=10.0))
+        assert extended.service(_address(config), False, 0.0) > plain.service(
+            _address(config), False, 0.0
+        )
+
+    def test_counter_traffic_issued_to_dram(self, config):
+        tracker = ScriptedTracker(
+            config, responses=[TrackerResponse(counter_reads=1, counter_writes=1)]
+        )
+        mc = _controller(config, tracker)
+        mc.service(_address(config), False, 0.0)
+        assert mc.dram.stats.counter_reads == 1
+        assert mc.dram.stats.counter_writes == 1
+        assert mc.stats.tracker_counter_accesses == 2
+
+    def test_mitigation_issues_victim_refresh(self, config):
+        row = RowAddress(BankAddress(0, 0, 0, 0), 100)
+        tracker = ScriptedTracker(config, responses=[TrackerResponse(mitigations=(row,))])
+        mc = _controller(config, tracker)
+        mc.service(_address(config, row=100), False, 0.0)
+        assert mc.dram.stats.victim_refreshes == 1
+        assert mc.stats.mitigation_refreshes == 1
+
+    def test_blackout_applied_and_audited(self, config):
+        blackout = Blackout(
+            scope=MitigationScope.RANK, channel=0, rank=0, duration_ns=1000.0, reason="r"
+        )
+        tracker = ScriptedTracker(config, responses=[TrackerResponse(blackouts=(blackout,))])
+        auditor = GroundTruthAuditor(config)
+        mc = _controller(config, tracker, auditor)
+        mc.service(_address(config), False, 0.0)
+        assert mc.dram.stats.blackouts == 1
+        assert mc.stats.structure_reset_blackouts == 1
+
+    def test_group_mitigation_blocks_rank_and_counts_energy(self, config):
+        group = GroupMitigation(
+            channel=0, rank=0, num_rows=256, rows_per_bank=8.0, covers=lambda _: True
+        )
+        tracker = ScriptedTracker(
+            config, responses=[TrackerResponse(group_mitigations=(group,))]
+        )
+        mc = _controller(config, tracker)
+        mc.service(_address(config), False, 0.0)
+        assert mc.stats.group_mitigations == 1
+        assert mc.dram.stats.victim_rows_refreshed == 512     # 256 rows x BR1 victims
+        assert mc.dram.stats.blackout_time_ns > 0
+
+    def test_writebacks_counted_as_writes(self, config):
+        mc = _controller(config, ScriptedTracker(config))
+        mc.service(_address(config), True, 0.0)
+        assert mc.stats.write_requests == 1
+
+
+class TestRefreshWindows:
+    def test_tracker_notified_on_window_crossing(self, config):
+        tracker = ScriptedTracker(config)
+        mc = _controller(config, tracker)
+        mc.service(_address(config, row=1), False, 0.0)
+        mc.service(_address(config, row=2), False, config.timings.trefw_ns + 10.0)
+        assert tracker.refresh_windows == [1]
+        assert mc.stats.refresh_windows == 1
+
+    def test_multiple_windows_crossed_at_once(self, config):
+        tracker = ScriptedTracker(config)
+        mc = _controller(config, tracker)
+        mc.service(_address(config, row=1), False, 3.5 * config.timings.trefw_ns)
+        assert tracker.refresh_windows == [1, 2, 3]
+
+
+class TestMitigationCommands:
+    def test_drfm_configuration_blocks_more_banks(self, config):
+        row = RowAddress(BankAddress(0, 0, 0, 0), 100)
+        drfm_config = config.with_mitigation(MitigationCommand.DRFM_SB, 2)
+        tracker = ScriptedTracker(
+            drfm_config, responses=[TrackerResponse(mitigations=(row,))]
+        )
+        mc = _controller(drfm_config, tracker)
+        mc.service(_address(drfm_config, row=100), False, 0.0)
+        # Same bank index in another bank group is blocked too.
+        other_group_bank = mc.dram.bank_state(BankAddress(0, 0, 5, 0))
+        assert other_group_bank.blocked_until_ns > 0

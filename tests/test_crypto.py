@@ -1,0 +1,118 @@
+"""Tests for the low-latency block cipher and PRNGs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.llbc import LowLatencyBlockCipher
+from repro.crypto.prng import SplitMix64, XorShift64
+
+
+class TestLLBC:
+    def test_encrypt_decrypt_roundtrip(self):
+        cipher = LowLatencyBlockCipher(block_bits=21, seed=7)
+        for value in (0, 1, 12345, (1 << 21) - 1):
+            assert cipher.decrypt(cipher.encrypt(value)) == value
+
+    def test_is_a_permutation_on_small_domain(self):
+        cipher = LowLatencyBlockCipher(block_bits=10, seed=3)
+        images = {cipher.encrypt(value) for value in range(1 << 10)}
+        assert len(images) == 1 << 10
+        assert min(images) == 0 and max(images) == (1 << 10) - 1
+
+    def test_rekey_changes_mapping(self):
+        cipher = LowLatencyBlockCipher(block_bits=16, seed=11)
+        before = [cipher.encrypt(v) for v in range(64)]
+        cipher.rekey()
+        after = [cipher.encrypt(v) for v in range(64)]
+        assert before != after
+        assert cipher.key_epoch == 2
+
+    def test_rekey_preserves_bijectivity(self):
+        cipher = LowLatencyBlockCipher(block_bits=9, seed=5)
+        cipher.rekey()
+        images = {cipher.encrypt(value) for value in range(1 << 9)}
+        assert len(images) == 1 << 9
+
+    def test_same_seed_same_mapping(self):
+        a = LowLatencyBlockCipher(block_bits=12, seed=42)
+        b = LowLatencyBlockCipher(block_bits=12, seed=42)
+        assert [a.encrypt(v) for v in range(100)] == [b.encrypt(v) for v in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = LowLatencyBlockCipher(block_bits=12, seed=42)
+        b = LowLatencyBlockCipher(block_bits=12, seed=43)
+        assert [a.encrypt(v) for v in range(100)] != [b.encrypt(v) for v in range(100)]
+
+    def test_out_of_range_rejected(self):
+        cipher = LowLatencyBlockCipher(block_bits=8, seed=1)
+        with pytest.raises(ValueError):
+            cipher.encrypt(256)
+        with pytest.raises(ValueError):
+            cipher.decrypt(-1)
+
+    def test_odd_width_supported(self):
+        cipher = LowLatencyBlockCipher(block_bits=17, seed=9)
+        for value in (0, 1, 2 ** 17 - 1, 99_999):
+            assert cipher.decrypt(cipher.encrypt(value)) == value
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LowLatencyBlockCipher(block_bits=1, seed=0)
+        with pytest.raises(ValueError):
+            LowLatencyBlockCipher(block_bits=8, seed=0, rounds=1)
+
+    def test_mixing_moves_values(self):
+        cipher = LowLatencyBlockCipher(block_bits=21, seed=99)
+        unchanged = sum(1 for v in range(1000) if cipher.encrypt(v) == v)
+        assert unchanged < 10
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.integers(0, (1 << 21) - 1), seed=st.integers(0, 2 ** 32))
+    def test_roundtrip_property(self, value, seed):
+        cipher = LowLatencyBlockCipher(block_bits=21, seed=seed)
+        assert cipher.decrypt(cipher.encrypt(value)) == value
+
+
+class TestPRNG:
+    def test_splitmix_deterministic(self):
+        assert SplitMix64(1).next() == SplitMix64(1).next()
+        assert SplitMix64(1).next() != SplitMix64(2).next()
+
+    def test_splitmix_derive_labels(self):
+        base = SplitMix64(123)
+        assert base.derive(0) != base.derive(1)
+
+    def test_xorshift_range(self):
+        rng = XorShift64(5)
+        for _ in range(1000):
+            value = rng.next_float()
+            assert 0.0 <= value < 1.0
+
+    def test_xorshift_below(self):
+        rng = XorShift64(5)
+        values = {rng.next_below(10) for _ in range(500)}
+        assert values <= set(range(10))
+        assert len(values) == 10
+
+    def test_xorshift_bits(self):
+        rng = XorShift64(5)
+        value = rng.next_bits(80)
+        assert 0 <= value < (1 << 80)
+
+    def test_xorshift_zero_seed_is_valid(self):
+        rng = XorShift64(0)
+        assert rng.next_u64() != 0
+
+    def test_invalid_arguments(self):
+        rng = XorShift64(1)
+        with pytest.raises(ValueError):
+            rng.next_below(0)
+        with pytest.raises(ValueError):
+            rng.next_bits(0)
+
+    def test_uniformity_rough(self):
+        rng = XorShift64(77)
+        buckets = [0] * 8
+        for _ in range(8000):
+            buckets[rng.next_below(8)] += 1
+        assert min(buckets) > 800

@@ -1,0 +1,262 @@
+"""Unit tests for the DAPPER-S and DAPPER-H trackers (the paper's contribution)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import baseline_config, reduced_row_config
+from repro.core.bitvector import PerBankBitVector
+from repro.core.dapper_h import DapperHTracker
+from repro.core.dapper_s import DapperSTracker
+from repro.core.rgc import RowGroupCounterTable
+from repro.dram.address import BankAddress, RowAddress
+
+
+def _row(row=1000, bank=0, bank_group=0, rank=0, channel=0):
+    return RowAddress(BankAddress(channel, rank, bank_group, bank), row)
+
+
+@pytest.fixture
+def config():
+    return reduced_row_config(nrh=500, rows_per_bank=2048)
+
+
+class TestRowGroupCounterTable:
+    def test_group_mapping_is_consistent(self):
+        table = RowGroupCounterTable(rank_row_bits=12, group_size=16, seed=1)
+        for row in range(0, 4096, 97):
+            assert table.group_of(row) == table.group_of(row)
+
+    def test_groups_partition_the_row_space(self):
+        table = RowGroupCounterTable(rank_row_bits=10, group_size=16, seed=1)
+        assignment = {}
+        for row in range(1024):
+            assignment.setdefault(table.group_of(row), []).append(row)
+        assert len(assignment) == table.num_groups
+        assert all(len(members) == 16 for members in assignment.values())
+
+    def test_members_inverts_group_of(self):
+        table = RowGroupCounterTable(rank_row_bits=12, group_size=32, seed=5)
+        group = table.group_of(777)
+        members = table.members(group)
+        assert 777 in members
+        assert len(members) == 32
+        assert all(table.group_of(member) == group for member in members)
+
+    def test_rekey_changes_grouping_and_clears_cache(self):
+        table = RowGroupCounterTable(rank_row_bits=12, group_size=32, seed=5)
+        before = [table.group_of(row) for row in range(200)]
+        table.members(0)
+        table.rekey()
+        after = [table.group_of(row) for row in range(200)]
+        assert before != after
+        assert all(table.group_of(m) == 0 for m in table.members(0))
+
+    def test_counter_operations(self):
+        table = RowGroupCounterTable(rank_row_bits=10, group_size=16, seed=1)
+        assert table.increment(3) == 1
+        table.set_count(3, 7)
+        assert table.count(3) == 7
+        table.reset_all()
+        assert table.count(3) == 0
+
+    def test_counter_saturates(self):
+        table = RowGroupCounterTable(rank_row_bits=10, group_size=16, seed=1, counter_bits=8)
+        for _ in range(300):
+            table.increment(0)
+        assert table.count(0) == 255
+
+    def test_group_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            RowGroupCounterTable(rank_row_bits=10, group_size=24, seed=1)
+
+    def test_storage_bytes(self):
+        table = RowGroupCounterTable(rank_row_bits=21, group_size=256, seed=1)
+        assert table.storage_bytes == 8192          # 8K one-byte counters
+
+    @settings(max_examples=50, deadline=None)
+    @given(row=st.integers(0, (1 << 14) - 1), seed=st.integers(0, 10_000))
+    def test_membership_property(self, row, seed):
+        table = RowGroupCounterTable(rank_row_bits=14, group_size=64, seed=seed)
+        group = table.group_of(row)
+        assert row in table.members(group)
+
+
+class TestPerBankBitVector:
+    def test_first_observation_does_not_count(self):
+        bv = PerBankBitVector(num_entries=8, num_banks=4)
+        assert bv.observe(0, 1) is False
+        assert bv.observe(0, 1) is True
+
+    def test_counting_clears_other_banks(self):
+        bv = PerBankBitVector(num_entries=8, num_banks=4)
+        bv.observe(0, 1)
+        bv.observe(0, 2)
+        assert bv.observe(0, 1) is True
+        assert bv.bits(0) == 1 << 1
+
+    def test_entries_are_independent(self):
+        bv = PerBankBitVector(num_entries=4, num_banks=4)
+        bv.observe(0, 0)
+        assert bv.observe(1, 0) is False
+
+    def test_clear_and_reset(self):
+        bv = PerBankBitVector(num_entries=4, num_banks=4)
+        bv.observe(2, 3)
+        bv.clear_entry(2)
+        assert bv.bits(2) == 0
+        bv.observe(2, 3)
+        bv.reset_all()
+        assert bv.bits(2) == 0
+
+    def test_bounds_checked(self):
+        bv = PerBankBitVector(num_entries=4, num_banks=4)
+        with pytest.raises(ValueError):
+            bv.observe(0, 4)
+
+    def test_storage(self):
+        bv = PerBankBitVector(num_entries=8192, num_banks=32)
+        assert bv.storage_bytes == 32 * 1024
+
+
+class TestDapperS:
+    def test_benign_activations_do_not_mitigate(self, config):
+        tracker = DapperSTracker(config)
+        for i in range(200):
+            assert tracker.on_activation(_row(row=i), 0.0).is_empty
+
+    def test_hammered_row_triggers_group_mitigation(self, config):
+        tracker = DapperSTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        responses = [tracker.on_activation(_row(row=42), 0.0) for _ in range(threshold)]
+        group_mitigations = [r for r in responses if r.group_mitigations]
+        assert len(group_mitigations) == 1
+        mitigation = group_mitigations[0].group_mitigations[0]
+        assert mitigation.num_rows == tracker.group_size
+        # The hammered row itself must be covered by the bulk refresh.
+        rank_row = _row(row=42).rank_row_index(config.dram)
+        assert mitigation.covers(rank_row)
+
+    def test_counter_resets_after_mitigation(self, config):
+        tracker = DapperSTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        row = _row(row=42)
+        for _ in range(threshold):
+            tracker.on_activation(row, 0.0)
+        group = tracker.group_of(row)
+        assert tracker.group_count(0, 0, group) == 0
+
+    def test_rekey_on_refresh_window(self, config):
+        tracker = DapperSTracker(config)
+        row = _row(row=42)
+        before = tracker.group_of(row)
+        tracker.on_activation(row, 0.0)
+        tracker.on_refresh_window(1, 0.0)
+        # Counters cleared and (very likely) the mapping changed.
+        assert tracker.group_count(0, 0, before) == 0
+
+    def test_short_reset_period(self, config):
+        tracker = DapperSTracker(config, reset_period_ns=12_000.0)
+        row = _row(row=42)
+        tracker.on_activation(row, 0.0)
+        tracker.on_activation(row, 20_000.0)       # past the reset period
+        assert tracker.stats.periodic_resets >= 1
+
+    def test_storage_is_16kb_per_channel_at_baseline_geometry(self):
+        tracker = DapperSTracker(baseline_config(nrh=500))
+        assert tracker.storage_report().sram_kb == pytest.approx(16.0)
+
+    def test_different_ranks_tracked_independently(self, config):
+        tracker = DapperSTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        for _ in range(threshold - 1):
+            tracker.on_activation(_row(row=42, rank=0), 0.0)
+        response = tracker.on_activation(_row(row=42, rank=1), 0.0)
+        assert response.is_empty
+
+
+class TestDapperH:
+    def test_benign_activations_do_not_mitigate(self, config):
+        tracker = DapperHTracker(config)
+        for i in range(500):
+            assert tracker.on_activation(_row(row=i % 64, bank=i % 4), 0.0).is_empty
+
+    def test_hammered_row_is_refreshed_at_threshold(self, config):
+        tracker = DapperHTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        row = _row(row=42)
+        mitigated_rows = []
+        for _ in range(threshold + 2):
+            response = tracker.on_activation(row, 0.0)
+            mitigated_rows.extend(response.mitigations)
+        assert mitigated_rows
+        assert any(m.row == 42 and m.bank == row.bank for m in mitigated_rows)
+
+    def test_mitigation_refreshes_only_shared_rows(self):
+        # With the full 2M-row rank the expected overlap between two random
+        # 256-row groups is ~0.03 rows, so nearly every mitigation refreshes
+        # just the hammered row (the paper reports 99.9%).
+        tracker = DapperHTracker(baseline_config(nrh=500))
+        threshold = baseline_config().rowhammer.mitigation_threshold
+        row = _row(row=42)
+        for _ in range(threshold + 2):
+            tracker.on_activation(row, 0.0)
+        assert tracker.single_row_mitigation_fraction() >= 0.9
+        assert sum(tracker.shared_row_histogram.values()) >= 1
+
+    def test_bitvector_filters_streaming_single_touch(self, config):
+        """Touching many rows once each (across banks) must not mitigate."""
+        tracker = DapperHTracker(config)
+        org = config.dram
+        for row in range(0, org.rows_per_bank, 7):
+            for bank in range(4):
+                response = tracker.on_activation(_row(row=row, bank=bank), 0.0)
+                assert not response.mitigations
+
+    def test_double_hash_requires_both_tables(self, config):
+        """Table 2 alone reaching the threshold must not trigger mitigation."""
+        tracker = DapperHTracker(config, use_bitvector=True)
+        org = config.dram
+        row = _row(row=42, bank=0)
+        group1, group2 = tracker.groups_of(row)
+        state = tracker._rank_state(0, 0)
+        # Drive table 2 up without table 1 (single touches from fresh banks).
+        state.table2.set_count(group2, config.rowhammer.mitigation_threshold)
+        response = tracker.on_activation(row, 0.0)
+        assert not response.mitigations    # table 1 still far below threshold
+
+    def test_reset_counters_prevent_zero_reset(self, config):
+        tracker = DapperHTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        row = _row(row=42)
+        for _ in range(threshold + 2):
+            tracker.on_activation(row, 0.0)
+        group1, group2 = tracker.groups_of(row)
+        state = tracker._rank_state(0, 0)
+        assert state.table1.count(group1) < threshold
+        assert state.table2.count(group2) < threshold
+
+    def test_refresh_window_rekeys_both_tables(self, config):
+        tracker = DapperHTracker(config)
+        row = _row(row=42)
+        before = tracker.groups_of(row)
+        tracker.on_refresh_window(1, 0.0)
+        state = tracker._rank_state(0, 0)
+        assert state.table1.count(before[0]) == 0
+        assert state.table2.count(before[1]) == 0
+
+    def test_storage_is_96kb_per_channel_at_baseline_geometry(self):
+        tracker = DapperHTracker(baseline_config(nrh=500))
+        assert tracker.storage_report().sram_kb == pytest.approx(96.0)
+
+    def test_ablation_flags(self, config):
+        no_bv = DapperHTracker(config, use_bitvector=False)
+        assert no_bv.use_bitvector is False
+        no_reset = DapperHTracker(config, use_reset_counters=False)
+        assert no_reset.use_reset_counters is False
+
+    def test_groups_of_exposes_both_mappings(self, config):
+        tracker = DapperHTracker(config)
+        group1, group2 = tracker.groups_of(_row(row=7))
+        state = tracker._rank_state(0, 0)
+        assert 0 <= group1 < state.table1.num_groups
+        assert 0 <= group2 < state.table2.num_groups

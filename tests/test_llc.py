@@ -1,0 +1,115 @@
+"""Tests for the shared last-level cache."""
+
+import pytest
+
+from repro.cache.llc import SharedLLC
+from repro.config import CacheConfig
+
+
+@pytest.fixture
+def llc():
+    return SharedLLC(CacheConfig(size_bytes=64 * 1024, ways=4, line_size_bytes=64))
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self, llc):
+        first = llc.access(0x1000, is_write=False)
+        second = llc.access(0x1000, is_write=False)
+        assert not first.hit
+        assert second.hit
+        assert llc.stats.hits == 1
+        assert llc.stats.misses == 1
+
+    def test_different_lines_do_not_hit(self, llc):
+        llc.access(0, False)
+        other = llc.access(64, False)
+        assert not other.hit
+
+    def test_lru_eviction(self, llc):
+        sets = llc.config.num_sets
+        line = llc.config.line_size_bytes
+        stride = sets * line
+        addresses = [i * stride for i in range(5)]   # 5 lines, 4 ways, same set
+        for address in addresses[:4]:
+            llc.access(address, False)
+        llc.access(addresses[0], False)               # refresh line 0
+        result = llc.access(addresses[4], False)      # evicts line 1 (LRU)
+        assert not result.hit
+        assert llc.access(addresses[0], False).hit
+        assert not llc.access(addresses[1], False).hit
+
+    def test_dirty_eviction_requests_writeback(self, llc):
+        sets = llc.config.num_sets
+        stride = sets * llc.config.line_size_bytes
+        llc.access(0, is_write=True)
+        for i in range(1, 4):
+            llc.access(i * stride, False)
+        result = llc.access(4 * stride, False)
+        assert result.writeback
+        assert result.evicted_line == 0
+
+    def test_write_hit_marks_dirty(self, llc):
+        sets = llc.config.num_sets
+        stride = sets * llc.config.line_size_bytes
+        llc.access(0, is_write=False)
+        llc.access(0, is_write=True)
+        for i in range(1, 5):
+            result = llc.access(i * stride, False)
+        assert result.writeback
+
+    def test_per_core_stats(self, llc):
+        llc.access(0, False, core_id=1)
+        llc.access(0, False, core_id=2)
+        assert llc.stats.per_core_misses[1] == 1
+        assert llc.stats.per_core_hits[2] == 1
+        assert llc.stats.core_hit_rate(2) == 1.0
+
+    def test_flush(self, llc):
+        llc.access(0, False)
+        llc.flush()
+        assert not llc.access(0, False).hit
+
+    def test_occupancy(self, llc):
+        assert llc.occupancy() == 0.0
+        llc.access(0, False)
+        assert llc.occupancy() > 0.0
+
+
+class TestWayReservation:
+    def test_reserving_ways_reduces_capacity(self, llc):
+        llc.reserve_ways(2)
+        assert llc.data_ways == 2
+        assert llc.data_capacity_bytes == llc.config.size_bytes // 2
+
+    def test_reserved_ways_evict_existing_lines(self, llc):
+        sets = llc.config.num_sets
+        stride = sets * llc.config.line_size_bytes
+        for i in range(4):
+            llc.access(i * stride, False)
+        llc.reserve_ways(2)
+        hits = sum(llc.access(i * stride, False).hit for i in range(4))
+        assert hits <= 2
+
+    def test_reserving_all_ways_is_rejected(self, llc):
+        with pytest.raises(ValueError):
+            llc.reserve_ways(llc.config.ways)
+
+    def test_fully_reserved_behaviour_via_zero_data_ways(self):
+        llc = SharedLLC(CacheConfig(size_bytes=4096, ways=4, line_size_bytes=64))
+        llc.reserve_ways(3)
+        assert llc.data_ways == 1
+        assert not llc.access(0, False).hit
+        assert llc.access(0, False).hit
+
+    def test_thrashing_reduces_victim_hit_rate(self, llc):
+        """A streaming interloper evicts a small resident working set."""
+        resident = [i * 64 for i in range(16)]
+        for address in resident:
+            llc.access(address, False, core_id=0)
+        base_hits = sum(llc.access(a, False, core_id=0).hit for a in resident)
+        # Stream far more lines than the cache holds.
+        for i in range(4096):
+            llc.access(0x100000 + i * 64, False, core_id=1)
+        post_hits = sum(llc.access(a, False, core_id=0).hit for a in resident)
+        assert base_hits == len(resident)
+        assert post_hits < base_hits

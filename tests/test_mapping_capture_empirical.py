@@ -1,0 +1,50 @@
+"""Empirical Mapping-Capturing attack against the DAPPER trackers."""
+
+import pytest
+
+from repro.attacks.mapping_capture import run_mapping_capture_attack
+from repro.config import reduced_row_config
+from repro.core.dapper_h import DapperHTracker
+from repro.core.dapper_s import DapperSTracker
+
+
+@pytest.fixture
+def config():
+    # Smaller row space so the single-hash attack succeeds quickly in a test.
+    return reduced_row_config(nrh=500, rows_per_bank=2048)
+
+
+class TestMappingCaptureAttack:
+    def test_dapper_s_mapping_is_capturable(self, config):
+        tracker = DapperSTracker(config)
+        result = run_mapping_capture_attack(
+            tracker, config, max_time_ns=64_000_000.0, seed=3
+        )
+        assert result.captured
+        assert result.captured_row is not None
+        # The captured row really does share the target row's group.
+        from repro.dram.address import BankAddress, RowAddress
+
+        target = RowAddress(BankAddress(0, 0, 0, 0), 12345)
+        probe = RowAddress(BankAddress(0, 0, 0, 1), result.captured_row)
+        assert tracker.group_of(target) == tracker.group_of(probe)
+
+    def test_dapper_h_resists_the_capture_attack(self):
+        # Full-size row space (2M rows per rank): the double hash makes the
+        # per-trial guess probability ~6e-8, so the attack goes nowhere.
+        from repro.config import baseline_config
+
+        full_config = baseline_config(nrh=500)
+        tracker = DapperHTracker(full_config)
+        result = run_mapping_capture_attack(
+            tracker, full_config, max_time_ns=8_000_000.0, seed=3
+        )
+        assert not result.captured
+
+    def test_attack_budget_accounting(self, config):
+        tracker = DapperSTracker(config)
+        result = run_mapping_capture_attack(
+            tracker, config, max_time_ns=4_000_000.0, seed=5
+        )
+        assert result.target_activations > 0
+        assert result.elapsed_ns <= 4_100_000.0

@@ -1,0 +1,79 @@
+"""Tests for performance metrics and the evaluation reporting helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.report import FigureData, format_table
+from repro.sim.metrics import (
+    geometric_mean,
+    normalized_performance,
+    slowdown_percent,
+    weighted_speedup,
+)
+
+
+class TestMetrics:
+    def test_identical_ipcs_give_unity(self):
+        assert normalized_performance([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_half_speed_gives_half(self):
+        assert normalized_performance([0.5, 1.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_weighted_speedup_sums_ratios(self):
+        assert weighted_speedup([1.0, 1.0], [2.0, 4.0]) == pytest.approx(0.75)
+
+    def test_slowdown_percent(self):
+        assert slowdown_percent(0.9) == pytest.approx(10.0)
+        assert slowdown_percent(1.0) == pytest.approx(0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_baseline_treated_as_zero_ratio(self):
+        assert normalized_performance([1.0], [0.0]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ipcs=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=8),
+        factor=st.floats(0.1, 1.0),
+    )
+    def test_scaling_property(self, ipcs, factor):
+        scaled = [value * factor for value in ipcs]
+        assert normalized_performance(scaled, ipcs) == pytest.approx(factor, rel=1e-6)
+
+
+class TestFigureData:
+    def test_add_and_column(self):
+        figure = FigureData(name="f", title="t")
+        figure.add(series="a", value=1.0)
+        figure.add(series="b", value=2.0)
+        assert figure.column("value") == [1.0, 2.0]
+
+    def test_filter_and_value(self):
+        figure = FigureData(name="f", title="t")
+        figure.add(series="a", nrh=500, value=1.0)
+        figure.add(series="a", nrh=1000, value=2.0)
+        assert figure.value("value", series="a", nrh=1000) == 2.0
+        assert len(figure.filter(series="a")) == 2
+
+    def test_value_requires_unique_match(self):
+        figure = FigureData(name="f", title="t")
+        figure.add(series="a", value=1.0)
+        figure.add(series="a", value=2.0)
+        with pytest.raises(KeyError):
+            figure.value("value", series="a")
+
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "bbb": 2.5}, {"a": 10, "bbb": 0.125}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "bbb" in lines[0]
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no data)"

@@ -1,0 +1,115 @@
+"""Integration tests: every tracker must actually prevent RowHammer.
+
+These tests drive real attack kernels through the memory controller with the
+ground-truth auditor attached (see :mod:`repro.analysis.security_eval`) and
+check the property the whole paper presumes: trackers keep every row's true
+activation count below the RowHammer threshold, whatever the access pattern.
+"""
+
+import pytest
+
+from repro.analysis.security_eval import (
+    DETERMINISTIC_TRACKERS,
+    SecurityScenario,
+    evaluate_tracker_security,
+    format_security_table,
+    security_sweep,
+)
+from repro.config import baseline_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config(nrh=500)
+
+
+class TestUnprotectedBaseline:
+    def test_double_sided_hammering_breaks_an_unprotected_system(self, config):
+        scenario = evaluate_tracker_security(
+            "none", "rowhammer", config=config, activations=6_000
+        )
+        assert not scenario.is_secure
+        assert scenario.max_count > config.rowhammer.nrh
+        assert scenario.mitigations_issued == 0
+
+    def test_many_sided_hammering_breaks_an_unprotected_system(self, config):
+        scenario = evaluate_tracker_security(
+            "none", "many-sided-rowhammer", config=config, activations=20_000
+        )
+        assert not scenario.is_secure
+
+
+class TestTrackedSystems:
+    @pytest.mark.parametrize("tracker", DETERMINISTIC_TRACKERS)
+    def test_double_sided_hammering_is_contained(self, config, tracker):
+        scenario = evaluate_tracker_security(
+            tracker, "rowhammer", config=config, activations=8_000
+        )
+        assert scenario.is_secure, f"{tracker} let a row reach {scenario.max_count}"
+        assert scenario.max_count <= config.rowhammer.nrh
+
+    @pytest.mark.parametrize("tracker", ["dapper-s", "dapper-h", "graphene"])
+    def test_many_sided_hammering_is_contained(self, config, tracker):
+        scenario = evaluate_tracker_security(
+            tracker, "many-sided-rowhammer", config=config, activations=12_000
+        )
+        assert scenario.is_secure
+
+    def test_dapper_h_mitigates_rather_than_relying_on_luck(self, config):
+        scenario = evaluate_tracker_security(
+            "dapper-h", "rowhammer", config=config, activations=8_000
+        )
+        assert scenario.mitigations_issued > 0
+
+    def test_breakhammer_composition_preserves_security(self, config):
+        scenario = evaluate_tracker_security(
+            "breakhammer:dapper-h", "rowhammer", config=config, activations=8_000
+        )
+        assert scenario.is_secure
+
+    def test_blockhammer_throttling_keeps_rows_below_threshold(self, config):
+        scenario = evaluate_tracker_security(
+            "blockhammer", "rowhammer", config=config, activations=8_000
+        )
+        # BlockHammer never refreshes victims; its security comes from delaying
+        # the aggressors past the refresh window.
+        assert scenario.mitigations_issued == 0
+        assert scenario.is_secure
+
+
+class TestSweepAndReporting:
+    def test_sweep_covers_every_combination(self, config):
+        scenarios = security_sweep(
+            trackers=("dapper-h", "graphene"),
+            attacks=("rowhammer", "many-sided-rowhammer"),
+            config=config,
+            activations=4_000,
+        )
+        assert len(scenarios) == 4
+        assert {s.tracker for s in scenarios} == {"dapper-h", "graphene"}
+        assert all(isinstance(s, SecurityScenario) for s in scenarios)
+
+    def test_format_security_table_mentions_every_row(self, config):
+        scenarios = security_sweep(
+            trackers=("dapper-h",),
+            attacks=("rowhammer",),
+            config=config,
+            activations=2_000,
+        )
+        text = format_security_table(scenarios)
+        assert "dapper-h" in text
+        assert "rowhammer" in text
+        assert "secure" in text
+
+    def test_scenario_fraction_property(self):
+        scenario = SecurityScenario(
+            tracker="x",
+            attack="y",
+            nrh=500,
+            activations=10,
+            max_count=250,
+            violations=0,
+            mitigations_issued=1,
+        )
+        assert scenario.max_count_fraction_of_nrh == pytest.approx(0.5)
+        assert scenario.is_secure

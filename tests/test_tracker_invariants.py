@@ -1,0 +1,138 @@
+"""Interface invariants every registered tracker must satisfy.
+
+These tests are parametrised over the whole registry, so any tracker added in
+the future is automatically held to the same contract the memory controller
+relies on: responses reference valid DRAM coordinates, storage reports do not
+drift with runtime state, periodic resets actually reset, and statistics stay
+consistent with the activation stream.
+"""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.dram.address import BankAddress, RowAddress
+from repro.dram.commands import MitigationScope
+from repro.trackers.registry import available_trackers, create_tracker
+
+#: Trackers whose mitigation decisions are deterministic functions of the
+#: activation stream (no sampling), used for the reset-behaviour checks.
+DETERMINISTIC = (
+    "hydra",
+    "start",
+    "comet",
+    "abacus",
+    "graphene",
+    "prac",
+    "dapper-s",
+    "dapper-h",
+)
+
+ALL_TRACKERS = available_trackers() + ("breakhammer:dapper-h",)
+
+
+def _row(row=1000, bank=0, bank_group=0, rank=0, channel=0):
+    return RowAddress(BankAddress(channel, rank, bank_group, bank), row)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config(nrh=500)
+
+
+def _drive(tracker, rows, repeats, now_step=10.0):
+    """Activate ``rows`` round-robin ``repeats`` times and collect responses."""
+    responses = []
+    now = 0.0
+    for _ in range(repeats):
+        for row in rows:
+            responses.append(tracker.on_activation(row, now))
+            now += now_step
+    return responses
+
+
+@pytest.mark.parametrize("name", ALL_TRACKERS)
+class TestResponseValidity:
+    def test_responses_reference_valid_dram_coordinates(self, config, name):
+        tracker = create_tracker(name, config)
+        org = config.dram
+        rows = [_row(row=i * 37 % 5000, bank=i % 4, rank=i % 2) for i in range(32)]
+        for response in _drive(tracker, rows, repeats=40):
+            assert response.counter_reads >= 0
+            assert response.counter_writes >= 0
+            for target in response.mitigations:
+                assert 0 <= target.row < org.rows_per_bank
+                assert 0 <= target.bank.channel < org.channels
+                assert 0 <= target.bank.rank < org.ranks_per_channel
+                assert 0 <= target.bank.bank_group < org.bank_groups_per_rank
+                assert 0 <= target.bank.bank < org.banks_per_group
+            for blackout in response.blackouts:
+                assert blackout.scope in MitigationScope
+                assert blackout.duration_ns >= 0.0
+            for group in response.group_mitigations:
+                assert group.num_rows > 0
+                assert 0 <= group.channel < org.channels
+                assert 0 <= group.rank < org.ranks_per_channel
+
+    def test_activation_statistics_match_the_stream(self, config, name):
+        tracker = create_tracker(name, config)
+        rows = [_row(row=i) for i in range(8)]
+        _drive(tracker, rows, repeats=50)
+        assert tracker.stats.activations_observed == 8 * 50
+
+    def test_storage_report_does_not_drift_with_runtime_state(self, config, name):
+        tracker = create_tracker(name, config)
+        before = tracker.storage_report()
+        _drive(tracker, [_row(row=i) for i in range(64)], repeats=20)
+        tracker.on_refresh_window(1, 1e6)
+        after = tracker.storage_report()
+        assert before == after
+
+    def test_hook_defaults_are_non_negative(self, config, name):
+        tracker = create_tracker(name, config)
+        tracker.note_request_source(2)
+        assert tracker.throttle_delay_ns(_row(), 0.0) >= 0.0
+        assert tracker.completion_delay_ns(_row(), 0.0) >= 0.0
+        assert tracker.activation_extension_ns() >= 0.0
+
+
+@pytest.mark.parametrize("name", DETERMINISTIC)
+class TestDeterministicTrackerBehaviour:
+    def test_single_activation_never_triggers_a_mitigation(self, config, name):
+        """One activation of a cold tracker is far below any threshold."""
+        tracker = create_tracker(name, config)
+        response = tracker.on_activation(_row(row=123), 0.0)
+        assert not response.mitigations
+        assert not response.group_mitigations
+        assert not response.blackouts
+
+    def test_refresh_window_reset_forgets_accumulated_pressure(self, config, name):
+        """After a periodic reset the next activation looks like a cold start."""
+        tracker = create_tracker(name, config)
+        threshold = config.rowhammer.mitigation_threshold
+        target = _row(row=77)
+        _drive(tracker, [target], repeats=threshold - 1, now_step=50.0)
+        tracker.on_refresh_window(1, config.timings.trefw_ns)
+        response = tracker.on_activation(target, config.timings.trefw_ns + 100.0)
+        assert not response.mitigations
+        assert not response.blackouts
+
+    def test_hammering_one_row_eventually_mitigates_it(self, config, name):
+        """Within NRH activations the hammered row's victims get refreshed."""
+        tracker = create_tracker(name, config)
+        target = _row(row=4242)
+        protected = False
+        now = 0.0
+        for _ in range(config.rowhammer.nrh):
+            response = tracker.on_activation(target, now)
+            now += 50.0
+            hammered_row_covered = any(
+                mitigated.row == target.row and mitigated.bank == target.bank
+                for mitigated in response.mitigations
+            ) or any(
+                group.covers(target.rank_row_index(config.dram))
+                for group in response.group_mitigations
+            )
+            if hammered_row_covered or response.blackouts:
+                protected = True
+                break
+        assert protected, f"{name} never refreshed a row hammered NRH times"

@@ -1,0 +1,260 @@
+"""Unit tests for the extra baselines: Graphene, MINT and the BreakHammer shim."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.dram.address import BankAddress, RowAddress
+from repro.trackers.graphene import GrapheneTracker, graphene_entries_per_bank
+from repro.trackers.mint import MintTracker
+from repro.trackers.none import NoMitigation
+from repro.trackers.registry import available_trackers, create_tracker
+from repro.trackers.throttling import BreakHammerShim
+
+
+def _row(row=1000, bank=0, bank_group=0, rank=0, channel=0):
+    return RowAddress(BankAddress(channel, rank, bank_group, bank), row)
+
+
+@pytest.fixture
+def config():
+    return baseline_config(nrh=500)
+
+
+class TestGraphene:
+    def test_entry_sizing_scales_inversely_with_nrh(self):
+        entries_500 = graphene_entries_per_bank(500, 32_000_000.0, 48.0)
+        entries_1000 = graphene_entries_per_bank(1000, 32_000_000.0, 48.0)
+        assert entries_500 > entries_1000
+        # tREFW/tRC activations divided by NRH/4.
+        assert entries_500 == pytest.approx(32_000_000 / 48 / 125, rel=0.01)
+
+    def test_no_counter_dram_traffic(self, config):
+        tracker = GrapheneTracker(config)
+        for i in range(5_000):
+            response = tracker.on_activation(_row(row=i % 97), 0.0)
+            assert response.counter_reads == 0
+            assert response.counter_writes == 0
+            assert not response.blackouts
+
+    def test_mitigates_hammered_row_at_threshold(self, config):
+        tracker = GrapheneTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        mitigated_at = None
+        for i in range(1, threshold + 2):
+            response = tracker.on_activation(_row(row=42), 0.0)
+            if response.mitigations:
+                mitigated_at = i
+                assert response.mitigations[0].row == 42
+                break
+        assert mitigated_at is not None
+        assert mitigated_at <= threshold + 1
+
+    def test_streaming_never_mitigates(self, config):
+        tracker = GrapheneTracker(config)
+        for i in range(20_000):
+            response = tracker.on_activation(_row(row=i % 4096, bank=i % 4), 0.0)
+            assert not response.mitigations
+
+    def test_per_bank_isolation(self, config):
+        tracker = GrapheneTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        # Hammering the same row id in two banks must not mix the counts.
+        for _ in range(threshold - 1):
+            tracker.on_activation(_row(row=7, bank=0), 0.0)
+        response = tracker.on_activation(_row(row=7, bank=1), 0.0)
+        assert not response.mitigations
+
+    def test_refresh_window_clears_state(self, config):
+        tracker = GrapheneTracker(config)
+        threshold = config.rowhammer.mitigation_threshold
+        for _ in range(threshold - 1):
+            tracker.on_activation(_row(row=9), 0.0)
+        tracker.on_refresh_window(1, 0.0)
+        response = tracker.on_activation(_row(row=9), 0.0)
+        assert not response.mitigations
+        assert tracker.stats.periodic_resets == 1
+
+    def test_storage_is_impractically_large(self, config):
+        """The whole point of Graphene as a baseline: precise but expensive."""
+        report = GrapheneTracker(config).storage_report()
+        dapper_h = create_tracker("dapper-h", config).storage_report()
+        assert report.cam_kb > 0
+        assert report.sram_kb + report.cam_kb > 4 * (dapper_h.sram_kb + dapper_h.cam_kb)
+
+    def test_storage_grows_as_nrh_drops(self):
+        low = GrapheneTracker(baseline_config(nrh=125)).storage_report()
+        high = GrapheneTracker(baseline_config(nrh=1000)).storage_report()
+        assert low.cam_bytes > high.cam_bytes
+
+
+class TestMint:
+    def test_paced_mitigation_rate(self, config):
+        tracker = MintTracker(config)
+        mitigations = 0
+        activations = 10_000
+        for i in range(activations):
+            response = tracker.on_activation(_row(row=i % 64), 0.0)
+            mitigations += len(response.mitigations)
+        expected = activations // tracker.activations_per_mitigation
+        assert mitigations == expected
+
+    def test_mitigated_row_was_activated_in_window(self, config):
+        tracker = MintTracker(config)
+        window_rows: list[int] = []
+        for i in range(tracker.activations_per_mitigation * 3):
+            row = 100 + (i % 37)
+            window_rows.append(row)
+            response = tracker.on_activation(_row(row=row), 0.0)
+            if response.mitigations:
+                assert response.mitigations[0].row in window_rows
+                window_rows.clear()
+
+    def test_hammered_row_selected_with_high_probability(self, config):
+        """If one row dominates the window it dominates the reservoir too."""
+        tracker = MintTracker(config)
+        hits = 0
+        total = 0
+        for i in range(tracker.activations_per_mitigation * 200):
+            row = 7 if i % 8 else 1000 + i   # 7/8 of activations hammer row 7
+            response = tracker.on_activation(_row(row=row), 0.0)
+            for target in response.mitigations:
+                total += 1
+                hits += target.row == 7
+        assert total > 0
+        assert hits / total > 0.6
+
+    def test_per_bank_windows_are_independent(self, config):
+        tracker = MintTracker(config)
+        pace = tracker.activations_per_mitigation
+        for _ in range(pace - 1):
+            assert not tracker.on_activation(_row(row=1, bank=0), 0.0).mitigations
+        # A different bank has its own window, far from its pace boundary.
+        assert not tracker.on_activation(_row(row=1, bank=1), 0.0).mitigations
+        # The original bank's next activation completes its window.
+        assert tracker.on_activation(_row(row=1, bank=0), 0.0).mitigations
+
+    def test_refresh_window_resets_reservoirs(self, config):
+        tracker = MintTracker(config)
+        for _ in range(tracker.activations_per_mitigation - 1):
+            tracker.on_activation(_row(row=3), 0.0)
+        tracker.on_refresh_window(1, 0.0)
+        response = tracker.on_activation(_row(row=3), 0.0)
+        assert not response.mitigations
+
+    def test_storage_is_tiny(self, config):
+        report = MintTracker(config).storage_report()
+        assert report.sram_kb < 1.0
+        assert report.cam_bytes == 0
+
+
+class TestBreakHammerShim:
+    def _hammer(self, shim, core_id, rows, repeats, bank=0):
+        shim.note_request_source(core_id)
+        for _ in range(repeats):
+            for row in rows:
+                shim.on_activation(_row(row=row, bank=bank), 0.0)
+
+    def test_delegates_mitigations_unchanged(self, config):
+        inner = create_tracker("graphene", config)
+        shim = BreakHammerShim(config, inner)
+        threshold = config.rowhammer.mitigation_threshold
+        shim.note_request_source(0)
+        responses = [
+            shim.on_activation(_row(row=5), 0.0) for _ in range(threshold + 1)
+        ]
+        assert any(r.mitigations for r in responses)
+        assert inner.stats.mitigations_issued >= 1
+
+    def test_attributes_triggers_to_requesting_core(self, config):
+        shim = BreakHammerShim(config, create_tracker("graphene", config))
+        threshold = config.rowhammer.mitigation_threshold
+        self._hammer(shim, core_id=0, rows=[11], repeats=threshold + 1)
+        self._hammer(shim, core_id=1, rows=[2000 + i for i in range(50)], repeats=1)
+        assert shim.trigger_count(0) >= 1
+        assert shim.trigger_count(1) == 0
+
+    def test_attacker_becomes_suspect_and_is_rate_limited(self, config):
+        shim = BreakHammerShim(config, create_tracker("graphene", config))
+        threshold = config.rowhammer.mitigation_threshold
+        # A benign core that never triggers mitigations.
+        self._hammer(shim, core_id=1, rows=list(range(100, 200)), repeats=2)
+        # An attacker hammering enough distinct rows to trigger many mitigations.
+        for row in range(16):
+            self._hammer(shim, core_id=0, rows=[row], repeats=threshold + 1)
+        assert shim.is_suspect(0)
+        assert not shim.is_suspect(1)
+        # A suspect core receiving back-to-back completions is spaced apart:
+        # the first response passes, later ones in the same instant are delayed.
+        shim.note_request_source(0)
+        shim.completion_delay_ns(_row(row=1), 0.0)
+        assert shim.completion_delay_ns(_row(row=1), 0.0) >= shim.MIN_SPACING_NS
+        # Benign cores are never delayed, before or after the access.
+        shim.note_request_source(1)
+        assert shim.throttle_delay_ns(_row(row=1), 0.0) == 0.0
+        assert shim.completion_delay_ns(_row(row=1), 0.0) == 0.0
+
+    def test_rate_limit_spaces_a_suspect_cores_responses(self, config):
+        shim = BreakHammerShim(config, create_tracker("graphene", config))
+        threshold = config.rowhammer.mitigation_threshold
+        shim.note_request_source(1)
+        shim.on_activation(_row(row=500), 0.0)
+        for row in range(16):
+            self._hammer(shim, core_id=0, rows=[row], repeats=threshold + 1)
+        assert shim.is_suspect(0)
+        shim.note_request_source(0)
+        # Ten completions at the same instant end up spaced MIN_SPACING_NS
+        # apart, i.e. the cumulative delay grows linearly.
+        delays = [shim.completion_delay_ns(_row(row=1), 1000.0) for _ in range(10)]
+        assert delays[0] == 0.0
+        for index in range(1, 10):
+            assert delays[index] >= index * shim.MIN_SPACING_NS - 1e-9
+        assert shim.stats.throttled_requests == 9
+
+    def test_scores_decay_across_refresh_windows(self, config):
+        shim = BreakHammerShim(config, create_tracker("graphene", config))
+        threshold = config.rowhammer.mitigation_threshold
+        for row in range(16):
+            self._hammer(shim, core_id=0, rows=[row], repeats=threshold + 1)
+        before = shim.trigger_count(0)
+        shim.on_refresh_window(1, 0.0)
+        assert shim.trigger_count(0) == before // 2
+        for _ in range(20):
+            shim.on_refresh_window(2, 0.0)
+        assert shim.trigger_count(0) == 0
+        assert not shim.is_suspect(0)
+
+    def test_storage_adds_only_score_counters(self, config):
+        inner = create_tracker("dapper-h", config)
+        shim = BreakHammerShim(config, create_tracker("dapper-h", config))
+        extra = shim.storage_report().sram_bytes - inner.storage_report().sram_bytes
+        assert 0 < extra <= 4 * config.cores.num_cores
+
+    def test_composition_with_the_none_tracker_never_throttles(self, config):
+        shim = BreakHammerShim(config, NoMitigation(config))
+        self._hammer(shim, core_id=0, rows=[1], repeats=5_000)
+        assert not shim.is_suspect(0)
+        assert shim.throttle_delay_ns(_row(row=1), 0.0) == 0.0
+
+
+class TestRegistryComposition:
+    def test_new_trackers_are_registered(self):
+        names = available_trackers()
+        assert "graphene" in names
+        assert "mint" in names
+
+    def test_breakhammer_prefix_composes(self, config):
+        tracker = create_tracker("breakhammer:dapper-h", config)
+        assert isinstance(tracker, BreakHammerShim)
+        assert tracker.inner.name == "dapper-h"
+        assert tracker.name == "breakhammer(dapper-h)"
+
+    def test_breakhammer_prefix_rejects_unknown_inner(self, config):
+        with pytest.raises(ValueError):
+            create_tracker("breakhammer:not-a-tracker", config)
+
+    def test_every_registered_tracker_instantiates_and_reports_storage(self, config):
+        for name in available_trackers():
+            tracker = create_tracker(name, config)
+            report = tracker.storage_report()
+            assert report.sram_bytes >= 0
+            assert report.cam_bytes >= 0
