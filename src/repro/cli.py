@@ -21,12 +21,36 @@ without writing Python:
     Show the attack kernels available to ``run --attack``.
 ``python -m repro.cli trace-record --workload 429.mcf --entries 10000 -o mcf.trace``
     Freeze a synthetic workload to a replayable trace file.
+``python -m repro.cli sweep --trackers a,b --attacks x --workloads w [--jobs N]``
+    Run a tracker x attack x workload cross-product through the sweep engine.
+
+Running sweeps
+--------------
+
+The ``sweep`` subcommand is the batch entry point: it expands comma-separated
+tracker, attack and workload lists into the full cross-product of scenarios,
+deduplicates the insecure baselines they share, fans the remaining simulations
+out over ``--jobs`` worker processes, and memoizes every completed result in
+an on-disk cache (``--cache-dir``, default ``.sweep-cache``) keyed by a stable
+hash of the scenario and the full system configuration.  Re-running the same
+sweep -- or any other sweep, figure or benchmark that overlaps with it -- is
+served from the cache; the summary reports the hit rate.  Use ``none`` in
+``--attacks`` for benign (attack-free) scenarios.  A JSON report with one
+entry per scenario plus the cache/parallelism summary is written to
+``--output`` (default ``sweep-report.json``)::
+
+    python -m repro.cli sweep --trackers graphene,dapper-h --attacks refresh \
+        --workloads 429.mcf --jobs 2
+
+Exit codes: 0 on success, 2 for unknown tracker/attack/workload names.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.analysis.security_eval import (
     DEFAULT_SECURITY_ATTACKS,
@@ -43,6 +67,7 @@ from repro.eval import tables as table_definitions
 from repro.eval.report import format_table, print_figure
 from repro.sim.experiment import ExperimentRunner, run_workload
 from repro.sim.metrics import slowdown_percent
+from repro.sim.sweep import ScenarioSpec, SweepRunner
 from repro.trackers.registry import available_trackers
 
 #: Figure numbers that have a regeneration function in :mod:`repro.eval.figures`.
@@ -117,6 +142,58 @@ def _build_parser() -> argparse.ArgumentParser:
     table.add_argument("number", nargs="?", type=int, default=None)
     table.add_argument(
         "--list", action="store_true", help="list the tables that can be regenerated"
+    )
+
+    sweep_batch = sub.add_parser(
+        "sweep",
+        help="run a tracker x attack x workload cross-product with caching "
+        "and parallel fan-out",
+    )
+    sweep_batch.add_argument(
+        "--trackers",
+        default="dapper-h",
+        help="comma-separated tracker names",
+    )
+    sweep_batch.add_argument(
+        "--attacks",
+        default="none",
+        help="comma-separated attack names ('none' = benign, no attacker)",
+    )
+    sweep_batch.add_argument(
+        "--workloads",
+        default="429.mcf",
+        help="comma-separated workload names",
+    )
+    sweep_batch.add_argument("--nrh", type=int, default=500)
+    sweep_batch.add_argument("--requests", type=int, default=4_000)
+    sweep_batch.add_argument("--seed", type=int, default=None)
+    sweep_batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan simulations out over",
+    )
+    sweep_batch.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="on-disk result cache directory ('' disables caching)",
+    )
+    sweep_batch.add_argument(
+        "-o",
+        "--output",
+        default="sweep-report.json",
+        help="path of the JSON report ('-' prints it to stdout)",
+    )
+    sweep_batch.add_argument(
+        "--attack-matched-baseline",
+        action="store_true",
+        help="normalise against baselines that also run the attacker",
+    )
+    sweep_batch.add_argument(
+        "--trefw-scale",
+        type=float,
+        default=1.0 / 16.0,
+        help="refresh-window scale used for short simulation windows",
     )
 
     sub.add_parser("list-attacks", help="list the available attack kernels")
@@ -231,6 +308,133 @@ def _cmd_security_sweep(args: argparse.Namespace) -> int:
     return 1 if insecure else 0
 
 
+def _split_names(raw: str) -> list[str]:
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _validate_sweep_names(
+    trackers: list[str], attacks: list[str], workloads: list[str], config
+) -> str | None:
+    """Return an error message for the first unknown name, or ``None``."""
+    from repro.attacks import available_attacks
+    from repro.cpu.workloads import get_workload
+    from repro.trackers.registry import create_tracker
+
+    for tracker in trackers:
+        # The registry is the single source of truth for tracker names
+        # (including recursive breakhammer: composition).
+        try:
+            create_tracker(tracker, config)
+        except ValueError as error:
+            return str(error)
+    known_attacks = available_attacks()
+    for attack in attacks:
+        if attack != "none" and attack not in known_attacks:
+            return (
+                f"unknown attack {attack!r}; "
+                f"available: none, {', '.join(known_attacks)}"
+            )
+    for workload in workloads:
+        try:
+            get_workload(workload)
+        except KeyError:
+            return f"unknown workload {workload!r} (see list-workloads)"
+    return None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trackers = _split_names(args.trackers)
+    attacks = _split_names(args.attacks)
+    workloads = _split_names(args.workloads)
+    if not (trackers and attacks and workloads):
+        print("sweep: empty tracker/attack/workload list", file=sys.stderr)
+        return 2
+    config = baseline_config(nrh=args.nrh).with_refresh_window_scale(
+        args.trefw_scale
+    )
+    error = _validate_sweep_names(trackers, attacks, workloads, config)
+    if error is not None:
+        print(f"sweep: {error}", file=sys.stderr)
+        return 2
+    specs = [
+        ScenarioSpec(
+            tracker=tracker,
+            workload=workload,
+            attack=None if attack == "none" else attack,
+            seed=args.seed,
+            requests_per_core=args.requests,
+            attack_matched_baseline=args.attack_matched_baseline,
+            config=config,
+        )
+        for tracker in trackers
+        for attack in attacks
+        for workload in workloads
+    ]
+
+    runner = SweepRunner(cache_dir=args.cache_dir or None, jobs=args.jobs)
+    started = time.monotonic()
+    outcomes = runner.run(specs)
+    elapsed = time.monotonic() - started
+
+    stats = runner.stats
+    report = {
+        "config": {
+            "nrh": args.nrh,
+            "requests_per_core": args.requests,
+            "trefw_scale": args.trefw_scale,
+            "seed": args.seed if args.seed is not None else config.seed,
+            "attack_matched_baseline": args.attack_matched_baseline,
+        },
+        "scenarios": [
+            {
+                **outcome.spec.describe(),
+                "cache_key": outcome.spec.cache_key(),
+                "normalized_performance": outcome.normalized,
+                "slowdown_percent": slowdown_percent(outcome.normalized),
+                "from_cache": outcome.from_cache,
+                "baseline_from_cache": outcome.baseline_from_cache,
+                "mitigations_issued": outcome.result.tracker_stats.mitigations_issued,
+                "dram_activations": outcome.result.dram_stats.activations,
+            }
+            for outcome in outcomes
+        ],
+        "summary": {
+            "scenarios": stats.scenarios,
+            "simulations": stats.simulations,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_hit_rate": stats.hit_rate,
+            "baselines_shared": stats.baselines_shared,
+            "jobs": args.jobs,
+            "cache_dir": args.cache_dir or None,
+            "elapsed_seconds": elapsed,
+        },
+    }
+    serialized = json.dumps(report, indent=2)
+    if args.output == "-":
+        print(serialized)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(serialized + "\n")
+        print(f"wrote {args.output} ({len(outcomes)} scenarios)")
+
+    for outcome in outcomes:
+        spec = outcome.spec
+        origin = "cache" if outcome.from_cache else "run"
+        print(
+            f"{spec.tracker:<16} {spec.workload_name:<12} "
+            f"{spec.attack or 'none':<18} {outcome.normalized:.4f} "
+            f"({slowdown_percent(outcome.normalized):6.2f}% slowdown) [{origin}]"
+        )
+    print(
+        f"simulations: {stats.simulations}  cache hits: {stats.cache_hits} "
+        f"({stats.hit_rate * 100.0:.0f}%)  misses: {stats.cache_misses}  "
+        f"baselines shared: {stats.baselines_shared}  "
+        f"elapsed: {elapsed:.1f}s  jobs: {args.jobs}"
+    )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.list or args.number is None:
         for number in FIGURE_IDS:
@@ -302,6 +506,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_security(args)
     if args.command == "security-sweep":
         return _cmd_security_sweep(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

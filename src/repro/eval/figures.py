@@ -33,6 +33,7 @@ from repro.config import (
 from repro.cpu.workloads import SUITES, workloads_in_suite
 from repro.eval.report import FigureData
 from repro.sim.experiment import ExperimentRunner
+from repro.sim.sweep import ScenarioSpec, SweepRunner
 
 #: The scalable trackers the motivation section attacks.
 MOTIVATION_TRACKERS: tuple[str, ...] = ("hydra", "start", "abacus", "comet")
@@ -100,6 +101,39 @@ def _suite_of(workload_name: str) -> str:
     from repro.cpu.workloads import get_workload
 
     return get_workload(workload_name).suite
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-based figure plumbing: figures that are plain scenario cross-products
+# declare their scenarios as ScenarioSpecs and execute them through a
+# SweepRunner, which deduplicates shared insecure baselines across the whole
+# batch (and, given a cache directory, replays previously simulated scenarios
+# from disk).  Pass ``sweep=SweepRunner(cache_dir=..., jobs=...)`` to any such
+# figure to parallelise or cache its regeneration.
+# --------------------------------------------------------------------------- #
+
+
+def _full_geometry_config(nrh: int) -> SystemConfig:
+    return baseline_config(nrh=nrh).with_refresh_window_scale(DEFAULT_TREFW_SCALE)
+
+
+def _streaming_config(nrh: int) -> SystemConfig:
+    return reduced_row_config(nrh=nrh).with_refresh_window_scale(DEFAULT_TREFW_SCALE)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _motivation_series() -> list[tuple[str, str, str]]:
+    """(label, tracker, attack) triples of the motivation experiments: cache
+    thrashing on the unprotected system, then each scalable tracker under its
+    tailored Perf-Attack."""
+    from repro.attacks import _TAILORED
+
+    return [("cache-thrashing", "none", "cache-thrashing")] + [
+        (tracker, tracker, _TAILORED[tracker]) for tracker in MOTIVATION_TRACKERS
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -205,34 +239,40 @@ def figure3(
     workloads: list[str] | None = None,
     requests_per_core: int = 8_000,
     nrh: int = 500,
+    sweep: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 3: per-workload normalized performance under cache thrashing
     and tailored Perf-Attacks for the four scalable trackers."""
     workloads = workloads or default_workloads(1)
-    runner = _motivation_runner(nrh, requests_per_core)
+    sweep = sweep or SweepRunner()
+    config = _full_geometry_config(nrh)
     figure = FigureData(
         name="figure3",
         title=f"Per-workload impact of Perf-Attacks (NRH={nrh})",
     )
-    from repro.attacks import _TAILORED
     from repro.cpu.workloads import get_workload
 
+    series = _motivation_series()
+    specs = [
+        ScenarioSpec(
+            tracker=tracker,
+            workload=workload,
+            attack=attack,
+            requests_per_core=requests_per_core,
+            config=config,
+        )
+        for workload in workloads
+        for _, tracker, attack in series
+    ]
+    outcomes = iter(sweep.run(specs))
     for workload in workloads:
         memory_intensive = get_workload(workload).memory_intensive
-        thrash = runner.run("none", workload, attack="cache-thrashing")
-        figure.add(
-            workload=workload,
-            memory_intensive=memory_intensive,
-            series="cache-thrashing",
-            normalized_performance=thrash.normalized,
-        )
-        for tracker in MOTIVATION_TRACKERS:
-            run = runner.run(tracker, workload, attack=_TAILORED[tracker])
+        for label, _, _ in series:
             figure.add(
                 workload=workload,
                 memory_intensive=memory_intensive,
-                series=tracker,
-                normalized_performance=run.normalized,
+                series=label,
+                normalized_performance=next(outcomes).normalized,
             )
     return figure
 
@@ -241,24 +281,35 @@ def figure4(
     workloads: list[str] | None = None,
     requests_per_core: int = 6_000,
     nrh_values: tuple[int, ...] = MOTIVATION_NRH_SWEEP,
+    sweep: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 4: sensitivity of the Perf-Attacks to the RowHammer threshold."""
     workloads = workloads or default_workloads(1)[:3]
+    sweep = sweep or SweepRunner()
     figure = FigureData(
         name="figure4",
         title="Perf-Attack slowdowns as NRH varies",
     )
-    from repro.attacks import _TAILORED
-
+    series = _motivation_series()
+    specs = [
+        ScenarioSpec(
+            tracker=tracker,
+            workload=workload,
+            attack=attack,
+            requests_per_core=requests_per_core,
+            config=_full_geometry_config(nrh),
+        )
+        for nrh in nrh_values
+        for _, tracker, attack in series
+        for workload in workloads
+    ]
+    outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
-        runner = _motivation_runner(nrh, requests_per_core)
-        thrash = runner.average_normalized("none", workloads, attack="cache-thrashing")
-        figure.add(nrh=nrh, series="cache-thrashing", normalized_performance=thrash)
-        for tracker in MOTIVATION_TRACKERS:
-            value = runner.average_normalized(
-                tracker, workloads, attack=_TAILORED[tracker]
+        for label, _, _ in series:
+            values = [next(outcomes).normalized for _ in workloads]
+            figure.add(
+                nrh=nrh, series=label, normalized_performance=_mean(values)
             )
-            figure.add(nrh=nrh, series=tracker, normalized_performance=value)
     figure.notes.append(
         "Paper: even at NRH=4K the tailored attacks cost 46-71% vs ~41% for "
         "cache thrashing."
@@ -401,22 +452,32 @@ def figure11(
     workloads: list[str] | None = None,
     requests_per_core: int = 8_000,
     nrh: int = 500,
+    sweep: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 11: DAPPER-H on benign applications (no attacker)."""
     workloads = workloads or default_workloads(1)
-    runner = _dapper_runner(nrh, requests_per_core)
+    sweep = sweep or SweepRunner()
+    config = _full_geometry_config(nrh)
     figure = FigureData(
         name="figure11",
         title="Normalized performance of DAPPER-H on benign applications",
     )
     from repro.cpu.workloads import get_workload
 
-    for workload in workloads:
-        run = runner.run("dapper-h", workload, attack=None)
+    specs = [
+        ScenarioSpec(
+            tracker="dapper-h",
+            workload=workload,
+            requests_per_core=requests_per_core,
+            config=config,
+        )
+        for workload in workloads
+    ]
+    for workload, outcome in zip(workloads, sweep.run(specs)):
         figure.add(
             workload=workload,
             memory_intensive=get_workload(workload).memory_intensive,
-            normalized_performance=run.normalized,
+            normalized_performance=outcome.normalized,
         )
     values = figure.column("normalized_performance")
     figure.add(
@@ -432,26 +493,43 @@ def figure12(
     workloads: list[str] | None = None,
     requests_per_core: int = 6_000,
     nrh_values: tuple[int, ...] = (125, 250, 500, 1000),
+    sweep: SweepRunner | None = None,
 ) -> FigureData:
     """Figure 12: DAPPER-H sensitivity to the RowHammer threshold."""
     workloads = workloads or default_workloads(1)[:3]
+    sweep = sweep or SweepRunner()
     figure = FigureData(
         name="figure12",
         title="DAPPER-H vs NRH under benign and Perf-Attack conditions",
     )
+
+    def _series(nrh: int) -> list[tuple[str, str | None, SystemConfig]]:
+        # The streaming attack needs the reduced-row geometry (see
+        # _streaming_runner); the batch mixes both configurations freely.
+        return [
+            ("DAPPER-H", None, _full_geometry_config(nrh)),
+            ("DAPPER-H-Streaming", "row-streaming", _streaming_config(nrh)),
+            ("DAPPER-H-Refresh", "refresh", _full_geometry_config(nrh)),
+        ]
+
+    specs = [
+        ScenarioSpec(
+            tracker="dapper-h",
+            workload=workload,
+            attack=attack,
+            requests_per_core=requests_per_core,
+            attack_matched_baseline=attack is not None,
+            config=config,
+        )
+        for nrh in nrh_values
+        for _, attack, config in _series(nrh)
+        for workload in workloads
+    ]
+    outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
-        runner = _dapper_runner(nrh, requests_per_core)
-        streaming_runner = _streaming_runner(nrh, requests_per_core)
-        benign = runner.average_normalized("dapper-h", workloads)
-        streaming = streaming_runner.average_normalized(
-            "dapper-h", workloads, attack="row-streaming", attack_matched_baseline=True
-        )
-        refresh = runner.average_normalized(
-            "dapper-h", workloads, attack="refresh", attack_matched_baseline=True
-        )
-        figure.add(nrh=nrh, series="DAPPER-H", normalized_performance=benign)
-        figure.add(nrh=nrh, series="DAPPER-H-Streaming", normalized_performance=streaming)
-        figure.add(nrh=nrh, series="DAPPER-H-Refresh", normalized_performance=refresh)
+        for label, _, _ in _series(nrh):
+            values = [next(outcomes).normalized for _ in workloads]
+            figure.add(nrh=nrh, series=label, normalized_performance=_mean(values))
     figure.notes.append(
         "Paper: <1% slowdown at NRH >= 500; up to ~6% at NRH = 125 under attack."
     )

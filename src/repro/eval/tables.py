@@ -7,10 +7,14 @@ import dataclasses
 from repro.analysis.dapper_h_security import analyze_dapper_h_mapping_capture
 from repro.analysis.mapping_capture import table2_rows
 from repro.analysis.storage import storage_comparison_table
-from repro.config import SystemConfig, baseline_config, reduced_row_config
-from repro.eval.figures import DEFAULT_TREFW_SCALE, default_workloads
+from repro.config import SystemConfig, baseline_config
+from repro.eval.figures import (
+    _full_geometry_config,
+    _streaming_config,
+    default_workloads,
+)
 from repro.eval.report import FigureData
-from repro.sim.experiment import ExperimentRunner
+from repro.sim.sweep import ScenarioSpec, SweepRunner
 
 
 def table1(config: SystemConfig | None = None) -> FigureData:
@@ -97,36 +101,44 @@ def table4(
     workloads: list[str] | None = None,
     requests_per_core: int = 6_000,
     nrh_values: tuple[int, ...] = (125, 500, 1000),
+    sweep: SweepRunner | None = None,
 ) -> FigureData:
     """Table IV: energy overhead of DAPPER-H (benign, streaming, refresh)."""
     workloads = workloads or default_workloads(1)[:3]
+    sweep = sweep or SweepRunner()
     table = FigureData(name="table4", title="Energy overhead of DAPPER-H")
+
+    def _scenarios(nrh: int) -> list[tuple[str, str | None, SystemConfig]]:
+        full_config = _full_geometry_config(nrh)
+        streaming_config = _streaming_config(nrh)
+        return [
+            ("benign", None, full_config),
+            ("streaming", "row-streaming", streaming_config),
+            ("refresh", "refresh", full_config),
+        ]
+
+    specs = [
+        ScenarioSpec(
+            tracker="dapper-h",
+            workload=workload,
+            attack=attack,
+            requests_per_core=requests_per_core,
+            attack_matched_baseline=attack is not None,
+            config=config,
+        )
+        for nrh in nrh_values
+        for _, attack, config in _scenarios(nrh)
+        for workload in workloads
+    ]
+    outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
-        full_config = baseline_config(nrh=nrh).with_refresh_window_scale(
-            DEFAULT_TREFW_SCALE
-        )
-        streaming_config = reduced_row_config(nrh=nrh).with_refresh_window_scale(
-            DEFAULT_TREFW_SCALE
-        )
-        full_runner = ExperimentRunner(full_config, requests_per_core=requests_per_core)
-        streaming_runner = ExperimentRunner(
-            streaming_config, requests_per_core=requests_per_core
-        )
-        for scenario, attack, runner in (
-            ("benign", None, full_runner),
-            ("streaming", "row-streaming", streaming_runner),
-            ("refresh", "refresh", full_runner),
-        ):
+        for scenario, _, _ in _scenarios(nrh):
             overheads = []
-            for workload in workloads:
-                run = runner.run(
-                    "dapper-h",
-                    workload,
-                    attack=attack,
-                    attack_matched_baseline=attack is not None,
-                )
+            for _ in workloads:
+                outcome = next(outcomes)
                 overheads.append(
-                    run.result.energy.overhead_vs(run.baseline.energy) * 100.0
+                    outcome.result.energy.overhead_vs(outcome.baseline.energy)
+                    * 100.0
                 )
             table.add(
                 nrh=nrh,

@@ -1,14 +1,23 @@
-"""Simulation drivers: the multi-core simulator, metrics, and experiment
-helpers used by the evaluation harness, examples and benchmarks.
+"""Simulation drivers: the multi-core simulator, metrics, experiment helpers
+and the parallel sweep engine used by the evaluation harness, examples and
+benchmarks.
 """
 
 from repro.sim.metrics import (
+    benign_normalized_performance,
     geometric_mean,
     normalized_performance,
     slowdown_percent,
     weighted_speedup,
 )
 from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.sweep import (
+    ResultCache,
+    ScenarioSpec,
+    SweepOutcome,
+    SweepRunner,
+    SweepStats,
+)
 from repro.sim.experiment import (
     ExperimentRunner,
     WorkloadRun,
@@ -21,7 +30,13 @@ __all__ = [
     "run_workload",
     "WorkloadRun",
     "ExperimentRunner",
+    "ScenarioSpec",
+    "SweepRunner",
+    "SweepOutcome",
+    "SweepStats",
+    "ResultCache",
     "normalized_performance",
+    "benign_normalized_performance",
     "weighted_speedup",
     "slowdown_percent",
     "geometric_mean",

@@ -16,8 +16,9 @@ from repro.config import SystemConfig, baseline_config
 from repro.cpu.trace import WorkloadTraceGenerator
 from repro.cpu.workloads import WorkloadProfile, get_workload
 from repro.dram.address import AddressMapper
-from repro.sim.metrics import normalized_performance
+from repro.sim.metrics import benign_normalized_performance
 from repro.sim.simulator import CoreSpec, SimulationResult, Simulator
+from repro.sim.sweep import ScenarioSpec, SweepRunner
 from repro.trackers.base import RowHammerTracker
 from repro.trackers.registry import create_tracker
 
@@ -174,9 +175,11 @@ def run_workload(
 class ExperimentRunner:
     """Runs scenarios and normalises them against cached insecure baselines.
 
-    Baselines (no mitigation, no attacker) are cached per workload so that a
-    sweep over trackers, attacks or RowHammer thresholds only simulates each
-    baseline once.
+    Scenario execution is delegated to a :class:`~repro.sim.sweep.SweepRunner`
+    so every simulation -- baselines included -- is memoized by its full
+    scenario hash; ``cache_dir`` additionally persists completed results on
+    disk and ``jobs`` lets batch entry points fan simulations out over worker
+    processes.
     """
 
     #: Benign cores whose IPC is compared (core 0 hosts the attacker in attack
@@ -187,14 +190,41 @@ class ExperimentRunner:
         requests_per_core: int = 8_000,
         seed: int | None = None,
         attack_warmup_activations: int = 150_000,
+        cache_dir=None,
+        jobs: int = 1,
     ):
         self.config = config or baseline_config()
         self.requests_per_core = requests_per_core
         self.seed = self.config.seed if seed is None else seed
         self.attack_warmup_activations = attack_warmup_activations
+        self.sweep = SweepRunner(cache_dir=cache_dir, jobs=jobs)
         self._baselines: dict[tuple, SimulationResult] = {}
 
     # ------------------------------------------------------------------ #
+
+    def _spec(
+        self,
+        tracker: str,
+        profile: WorkloadProfile,
+        attack: str | None,
+        config: SystemConfig,
+        enable_auditor: bool = False,
+        attack_matched_baseline: bool = False,
+        attack_warmup_activations: int | None = None,
+    ) -> ScenarioSpec:
+        return ScenarioSpec(
+            tracker=tracker,
+            workload=profile,
+            attack=attack,
+            seed=self.seed,
+            requests_per_core=self.requests_per_core,
+            attack_matched_baseline=attack_matched_baseline,
+            attack_warmup_activations=self.attack_warmup_activations
+            if attack_warmup_activations is None
+            else attack_warmup_activations,
+            enable_auditor=enable_auditor,
+            config=config,
+        )
 
     def _baseline_key(
         self,
@@ -202,12 +232,18 @@ class ExperimentRunner:
         config: SystemConfig,
         attack: str | None,
     ) -> tuple:
+        # Every configuration parameter that changes baseline behaviour must
+        # appear here: two configs differing only in LLC associativity, core
+        # count or per-core MLP must not share a cached baseline.  The full
+        # frozen sub-configs cover geometry, timings (e.g. a scaled refresh
+        # window) and cache shape in one go.
         return (
             workload.name,
             attack,
-            config.dram.channels,
-            config.dram.ranks_per_channel,
-            config.llc.size_bytes,
+            config.dram,
+            config.timings,
+            config.llc,
+            config.cores,
             self.requests_per_core,
             self.seed,
         )
@@ -231,14 +267,10 @@ class ExperimentRunner:
         key = self._baseline_key(profile, config, attack)
         cached = self._baselines.get(key)
         if cached is None:
-            cached = run_workload(
-                config=config,
-                tracker="none",
-                workload=profile,
-                attack=attack,
-                requests_per_core=self.requests_per_core,
-                seed=self.seed,
+            spec = self._spec(
+                "none", profile, attack, config, attack_warmup_activations=0
             )
+            cached = self.sweep.simulate(spec)
             self._baselines[key] = cached
         return cached
 
@@ -266,16 +298,15 @@ class ExperimentRunner:
         profile = _resolve_workload(workload)
         baseline_attack = attack if attack_matched_baseline else None
         baseline = self.baseline(profile, config, attack=baseline_attack)
-        result = run_workload(
-            config=config,
-            tracker=tracker,
-            workload=profile,
-            attack=attack,
-            requests_per_core=self.requests_per_core,
-            seed=self.seed,
+        spec = self._spec(
+            tracker,
+            profile,
+            attack,
+            config,
             enable_auditor=enable_auditor,
-            attack_warmup_activations=self.attack_warmup_activations,
+            attack_matched_baseline=attack_matched_baseline,
         )
+        result = self.sweep.simulate(spec)
         normalized = self._normalize(result, baseline)
         return WorkloadRun(
             workload=profile.name,
@@ -290,14 +321,7 @@ class ExperimentRunner:
         self, result: SimulationResult, baseline: SimulationResult
     ) -> float:
         """Mean benign-core IPC ratio; core 0 is excluded (attacker slot)."""
-        measured_ids = sorted(
-            res.core_id
-            for res in result.benign_results()
-            if res.core_id != 0
-        )
-        test_ipcs = [result.ipc_of(core_id) for core_id in measured_ids]
-        base_ipcs = [baseline.ipc_of(core_id) for core_id in measured_ids]
-        return normalized_performance(test_ipcs, base_ipcs)
+        return benign_normalized_performance(result, baseline)
 
     # ------------------------------------------------------------------ #
 

@@ -45,3 +45,19 @@ def normalized_performance(
 def slowdown_percent(normalized: float) -> float:
     """Convert a normalized-performance value into a percentage slowdown."""
     return (1.0 - normalized) * 100.0
+
+
+def benign_normalized_performance(result, baseline) -> float:
+    """Normalized performance of a run against its insecure baseline.
+
+    Both arguments are :class:`~repro.sim.simulator.SimulationResult`-shaped
+    objects.  Core 0 is excluded everywhere: it hosts the attacker in attack
+    scenarios, so only the remaining benign cores are comparable across the
+    benign and attack configurations.
+    """
+    measured_ids = sorted(
+        res.core_id for res in result.benign_results() if res.core_id != 0
+    )
+    test_ipcs = [result.ipc_of(core_id) for core_id in measured_ids]
+    base_ipcs = [baseline.ipc_of(core_id) for core_id in measured_ids]
+    return normalized_performance(test_ipcs, base_ipcs)

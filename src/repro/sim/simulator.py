@@ -16,20 +16,33 @@ report and the optional security audit are collected into a
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from dataclasses import dataclass, field
 
-from repro.analysis.security import GroundTruthAuditor, SecurityReport
+from repro.analysis.security import GroundTruthAuditor, SecurityReport, SecurityViolation
 from repro.cache.llc import CacheStats, SharedLLC
 from repro.config import SystemConfig
 from repro.cpu.core import CoreModel, CoreResult
 from repro.cpu.trace import RequestGenerator
 from repro.dram.address import AddressMapper
+from repro.dram.commands import CommandKind
 from repro.dram.dram_system import DRAMStats, DRAMSystem
 from repro.dram.energy import EnergyReport
 from repro.mc.controller import ControllerStats, MemoryController
 from repro.trackers.base import RowHammerTracker, TrackerStats
 from repro.trackers.registry import create_tracker
+
+
+def _filtered_fields(cls, data: dict) -> dict:
+    """Keep only the keys that are fields of dataclass ``cls``.
+
+    Serialized results may come from a slightly newer or older code version;
+    unknown keys are dropped rather than crashing deserialization (missing
+    keys still raise, which the cache layer treats as a miss).
+    """
+    names = {f.name for f in dataclasses.fields(cls)}
+    return {key: value for key, value in data.items() if key in names}
 
 
 @dataclass(frozen=True)
@@ -75,6 +88,101 @@ class SimulationResult:
             if result.core_id == core_id:
                 return result.ipc
         raise KeyError(f"no core {core_id}")
+
+    # ------------------------------------------------------------------ #
+    # Serialization: results must cross process boundaries (sweep workers)
+    # and cache boundaries (the on-disk result cache), so everything a
+    # simulation produces round-trips through plain JSON-compatible types.
+    # Float fields round-trip exactly (JSON uses shortest-repr floats).
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dictionary (see :meth:`from_dict`)."""
+        security = None
+        if self.security is not None:
+            security = {
+                "nrh": self.security.nrh,
+                "max_count": self.security.max_count,
+                "rows_tracked": self.security.rows_tracked,
+                "violations": [
+                    dataclasses.asdict(violation)
+                    for violation in self.security.violations
+                ],
+            }
+        return {
+            "tracker_name": self.tracker_name,
+            "core_results": [
+                dataclasses.asdict(result) for result in self.core_results
+            ],
+            "elapsed_ns": self.elapsed_ns,
+            "dram_stats": dataclasses.asdict(self.dram_stats),
+            "llc_stats": dataclasses.asdict(self.llc_stats),
+            "controller_stats": dataclasses.asdict(self.controller_stats),
+            "tracker_stats": dataclasses.asdict(self.tracker_stats),
+            "energy": {
+                "dynamic_nj": self.energy.dynamic_nj,
+                "background_nj": self.energy.background_nj,
+                "command_counts": {
+                    kind.value: count
+                    for kind, count in self.energy.command_counts.items()
+                },
+            },
+            "security": security,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed
+        input; callers that replay untrusted bytes (the on-disk cache) treat
+        any of those as a cache miss.
+        """
+        llc_data = dict(data["llc_stats"])
+        # JSON turns integer dictionary keys into strings; restore them.
+        for key in ("per_core_hits", "per_core_misses"):
+            llc_data[key] = {
+                int(core): count for core, count in llc_data.get(key, {}).items()
+            }
+        energy_data = data["energy"]
+        security = None
+        if data.get("security") is not None:
+            security_data = data["security"]
+            security = SecurityReport(
+                nrh=security_data["nrh"],
+                max_count=security_data["max_count"],
+                rows_tracked=security_data["rows_tracked"],
+                violations=tuple(
+                    SecurityViolation(**_filtered_fields(SecurityViolation, v))
+                    for v in security_data["violations"]
+                ),
+            )
+        return cls(
+            tracker_name=data["tracker_name"],
+            core_results=tuple(
+                CoreResult(**_filtered_fields(CoreResult, result))
+                for result in data["core_results"]
+            ),
+            elapsed_ns=data["elapsed_ns"],
+            dram_stats=DRAMStats(**_filtered_fields(DRAMStats, data["dram_stats"])),
+            llc_stats=CacheStats(**_filtered_fields(CacheStats, llc_data)),
+            controller_stats=ControllerStats(
+                **_filtered_fields(ControllerStats, data["controller_stats"])
+            ),
+            tracker_stats=TrackerStats(
+                **_filtered_fields(TrackerStats, data["tracker_stats"])
+            ),
+            energy=EnergyReport(
+                dynamic_nj=energy_data["dynamic_nj"],
+                background_nj=energy_data["background_nj"],
+                command_counts={
+                    CommandKind(kind): count
+                    for kind, count in energy_data["command_counts"].items()
+                },
+            ),
+            security=security,
+            extra=dict(data.get("extra", {})),
+        )
 
 
 class Simulator:

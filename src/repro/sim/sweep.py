@@ -1,0 +1,371 @@
+"""Declarative scenario sweeps: parallel fan-out and on-disk result caching.
+
+The paper's evaluation is a large cross-product (trackers x attacks x
+workloads x thresholds) in which many scenarios share the same insecure
+baseline and many figures re-run scenarios other figures already ran.  This
+module turns a scenario into data so that work can be planned, deduplicated,
+distributed and memoized:
+
+:class:`ScenarioSpec`
+    A frozen, picklable description of one simulation (tracker, workload,
+    attack, seed, request budget, configuration).  Its :meth:`cache_key` is a
+    stable content hash over every simulation-affecting field, including the
+    full system configuration and a code-version salt.
+
+:class:`SweepRunner`
+    Executes batches of specs.  Within a batch, identical simulations
+    (typically the shared insecure baselines) are simulated exactly once;
+    completed results are memoized in memory and -- when ``cache_dir`` is
+    given -- in an on-disk JSON cache keyed by the scenario hash, so repeated
+    figure regeneration and repeated CLI invocations are served from cache.
+    With ``jobs > 1`` pending simulations fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; results cross the
+    process boundary through :meth:`SimulationResult.to_dict` /
+    :meth:`SimulationResult.from_dict`, the same serialization the cache uses,
+    so serial, parallel and cache-replayed sweeps are bit-identical.
+
+:class:`SweepOutcome`
+    One scenario's result together with its (batch-deduplicated) insecure
+    baseline and the paper's normalized-performance metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import SystemConfig, baseline_config
+from repro.cpu.workloads import WorkloadProfile, get_workload
+from repro.sim.metrics import benign_normalized_performance
+from repro.sim.simulator import SimulationResult
+
+#: Salt mixed into every scenario hash.  Bump whenever a change to the
+#: simulator alters results for unchanged configurations, so stale on-disk
+#: cache entries are never replayed as current results.
+CODE_VERSION = "dapper-sim-v1"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one simulation scenario.
+
+    ``workload`` may be a registered workload name or an explicit
+    :class:`WorkloadProfile`; both hash by the profile's contents, so a named
+    workload and an identical ad-hoc profile share cache entries.
+    ``attack_matched_baseline`` selects which insecure baseline the scenario
+    is normalised against (see :meth:`baseline_spec`); it does not affect the
+    measured simulation itself and is therefore not part of the cache key.
+    """
+
+    tracker: str
+    workload: str | WorkloadProfile
+    attack: str | None = None
+    seed: int | None = None
+    requests_per_core: int = 8_000
+    attack_matched_baseline: bool = False
+    attack_warmup_activations: int = 150_000
+    llc_warmup_accesses: int = 25_000
+    enable_auditor: bool = False
+    config: SystemConfig | None = None
+
+    def __post_init__(self):
+        # Warm-up only applies to attack scenarios; canonicalise so benign
+        # specs that differ only in the (unused) warm-up cap hash identically.
+        if self.attack is None and self.attack_warmup_activations != 0:
+            object.__setattr__(self, "attack_warmup_activations", 0)
+
+    # ------------------------------------------------------------------ #
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config if self.config is not None else baseline_config()
+
+    def resolved_seed(self) -> int:
+        return self.resolved_config().seed if self.seed is None else self.seed
+
+    def resolved_workload(self) -> WorkloadProfile:
+        if isinstance(self.workload, WorkloadProfile):
+            return self.workload
+        return get_workload(self.workload)
+
+    @property
+    def workload_name(self) -> str:
+        return self.resolved_workload().name
+
+    def baseline_spec(self) -> "ScenarioSpec":
+        """The insecure baseline this scenario is normalised against.
+
+        No mitigation and -- unless ``attack_matched_baseline`` -- no
+        attacker.  Baselines are measured without tracker warm-up (there is no
+        tracker to warm) and never carry the security auditor.
+        """
+        return dataclasses.replace(
+            self,
+            tracker="none",
+            attack=self.attack if self.attack_matched_baseline else None,
+            attack_matched_baseline=False,
+            attack_warmup_activations=0,
+            enable_auditor=False,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def cache_key(self) -> str:
+        """Stable content hash over every simulation-affecting field."""
+        payload = {
+            "code_version": CODE_VERSION,
+            "tracker": self.tracker,
+            "workload": dataclasses.asdict(self.resolved_workload()),
+            "attack": self.attack,
+            "seed": self.resolved_seed(),
+            "requests_per_core": self.requests_per_core,
+            "attack_warmup_activations": self.attack_warmup_activations,
+            "llc_warmup_accesses": self.llc_warmup_accesses,
+            "enable_auditor": self.enable_auditor,
+            "config": dataclasses.asdict(self.resolved_config()),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> dict:
+        """Human-readable identity of the scenario (for reports and logs)."""
+        return {
+            "tracker": self.tracker,
+            "workload": self.workload_name,
+            "attack": self.attack,
+            "seed": self.resolved_seed(),
+            "requests_per_core": self.requests_per_core,
+            "attack_matched_baseline": self.attack_matched_baseline,
+            "nrh": self.resolved_config().rowhammer.nrh,
+        }
+
+
+def _execute_spec(spec: ScenarioSpec) -> dict:
+    """Simulate one scenario and return its serialized result.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; returns a plain dictionary so results cross the process
+    boundary through the same serialization path the on-disk cache uses.
+    """
+    from repro.sim.experiment import run_workload
+
+    result = run_workload(
+        config=spec.resolved_config(),
+        tracker=spec.tracker,
+        workload=spec.resolved_workload(),
+        attack=spec.attack,
+        requests_per_core=spec.requests_per_core,
+        seed=spec.resolved_seed(),
+        enable_auditor=spec.enable_auditor,
+        attack_warmup_activations=spec.attack_warmup_activations,
+        llc_warmup_accesses=spec.llc_warmup_accesses,
+    )
+    return result.to_dict()
+
+
+class ResultCache:
+    """On-disk JSON store for completed simulation results.
+
+    One file per scenario hash.  The cache is strictly an optimisation: a
+    missing, truncated, corrupted or schema-incompatible file is treated as a
+    miss (the scenario is simply re-simulated), never as an error.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        return self.cache_dir is not None
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> SimulationResult | None:
+        if not self.enabled:
+            return None
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("code_version") != CODE_VERSION:
+                return None
+            return SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, spec: ScenarioSpec, result: SimulationResult) -> None:
+        if not self.enabled:
+            return
+        payload = {
+            "code_version": CODE_VERSION,
+            "scenario": spec.describe(),
+            "result": result.to_dict(),
+        }
+        # Write-then-rename so a crashed or concurrent writer can never leave
+        # a half-written file behind under the final name.
+        tmp_path = self._path(key).with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            # An unwritable or full cache directory degrades to a cache-less
+            # sweep; simulation results already in memory are never lost.
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+@dataclass
+class SweepStats:
+    """Cumulative accounting of a runner's cache behaviour."""
+
+    scenarios: int = 0       # scenarios requested (measured runs)
+    simulations: int = 0     # unique simulations needed (measured + baselines)
+    cache_hits: int = 0      # simulations served from memory or disk
+    cache_misses: int = 0    # simulations actually executed
+    baselines_shared: int = 0  # baseline duplicates avoided within batches
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.simulations if self.simulations else 0.0
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One scenario's result, baseline, and normalized performance."""
+
+    spec: ScenarioSpec
+    normalized: float
+    result: SimulationResult
+    baseline: SimulationResult
+    from_cache: bool
+    baseline_from_cache: bool
+
+
+class SweepRunner:
+    """Plans, deduplicates, distributes and memoizes scenario batches."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        jobs: int = 1,
+    ):
+        self.cache = ResultCache(cache_dir)
+        self.jobs = max(1, int(jobs))
+        self.stats = SweepStats()
+        self._memory: dict[str, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, key: str) -> SimulationResult | None:
+        found = self._memory.get(key)
+        if found is None:
+            found = self.cache.load(key)
+            if found is not None:
+                self._memory[key] = found
+        return found
+
+    def _execute_pending(self, pending: dict[str, ScenarioSpec]) -> None:
+        """Simulate every pending scenario, in-process or across a pool."""
+        items = list(pending.items())
+        if not items:
+            return
+        if self.jobs == 1 or len(items) == 1:
+            payloads = ((key, _execute_spec(spec)) for key, spec in items)
+        else:
+            payloads = self._pool_payloads(items)
+        for key, payload in payloads:
+            # Round-trip through the serialized form on every path so serial,
+            # parallel and cache-replayed sweeps see byte-identical results.
+            result = SimulationResult.from_dict(payload)
+            self._memory[key] = result
+            self.cache.store(key, pending[key], result)
+
+    def _pool_payloads(
+        self, items: list[tuple[str, ScenarioSpec]]
+    ) -> Iterable[tuple[str, dict]]:
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_spec, spec): key for key, spec in items
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+    # ------------------------------------------------------------------ #
+
+    def simulate(self, spec: ScenarioSpec) -> SimulationResult:
+        """Run (or replay) one scenario without baseline normalisation."""
+        key = spec.cache_key()
+        self.stats.simulations += 1
+        found = self._lookup(key)
+        if found is not None:
+            self.stats.cache_hits += 1
+            return found
+        self.stats.cache_misses += 1
+        self._execute_pending({key: spec})
+        return self._memory[key]
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> list[SweepOutcome]:
+        """Execute a batch of scenarios and normalise each against its baseline.
+
+        Identical simulations within the batch -- most commonly the insecure
+        baseline shared by every tracker measured on the same workload -- are
+        simulated exactly once.
+        """
+        specs = list(specs)
+        wanted: list[tuple[ScenarioSpec, str, str]] = []
+        plan: dict[str, ScenarioSpec] = {}
+        duplicate_baselines = 0
+        for spec in specs:
+            measured_key = spec.cache_key()
+            baseline = spec.baseline_spec()
+            baseline_key = baseline.cache_key()
+            wanted.append((spec, measured_key, baseline_key))
+            if baseline_key in plan:
+                duplicate_baselines += 1
+            for key, planned in ((measured_key, spec), (baseline_key, baseline)):
+                plan.setdefault(key, planned)
+
+        cached_keys: set[str] = set()
+        pending: dict[str, ScenarioSpec] = {}
+        for key, spec in plan.items():
+            if self._lookup(key) is not None:
+                cached_keys.add(key)
+            else:
+                pending[key] = spec
+        self._execute_pending(pending)
+
+        self.stats.scenarios += len(specs)
+        self.stats.simulations += len(plan)
+        self.stats.cache_hits += len(cached_keys)
+        self.stats.cache_misses += len(pending)
+        self.stats.baselines_shared += duplicate_baselines
+
+        outcomes = []
+        for spec, measured_key, baseline_key in wanted:
+            result = self._memory[measured_key]
+            baseline = self._memory[baseline_key]
+            outcomes.append(
+                SweepOutcome(
+                    spec=spec,
+                    normalized=benign_normalized_performance(result, baseline),
+                    result=result,
+                    baseline=baseline,
+                    from_cache=measured_key in cached_keys,
+                    baseline_from_cache=baseline_key in cached_keys,
+                )
+            )
+        return outcomes
+
+    def run_one(self, spec: ScenarioSpec) -> SweepOutcome:
+        """Convenience wrapper: :meth:`run` for a single scenario."""
+        return self.run([spec])[0]

@@ -1,0 +1,126 @@
+"""Tests for the ``sweep`` CLI subcommand: argument parsing, parallel jobs,
+the JSON report schema, cache behaviour across invocations, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+WORKLOAD = "453.povray"
+FAST_ARGS = ["--requests", "300", "--nrh", "500"]
+
+
+def _sweep(tmp_path, *extra: str) -> tuple[int, dict]:
+    report_path = tmp_path / "report.json"
+    code = main(
+        [
+            "sweep",
+            "--workloads", WORKLOAD,
+            "--cache-dir", str(tmp_path / "cache"),
+            "-o", str(report_path),
+            *FAST_ARGS,
+            *extra,
+        ]
+    )
+    report = (
+        json.loads(report_path.read_text(encoding="utf-8"))
+        if report_path.exists()
+        else {}
+    )
+    return code, report
+
+
+class TestReportSchema:
+    def test_report_written_with_expected_schema(self, tmp_path, capsys):
+        code, report = _sweep(tmp_path, "--trackers", "none,dapper-h")
+        assert code == 0
+        assert set(report) == {"config", "scenarios", "summary"}
+        assert len(report["scenarios"]) == 2
+        for scenario in report["scenarios"]:
+            assert scenario["workload"] == WORKLOAD
+            assert scenario["attack"] is None
+            assert 0.0 < scenario["normalized_performance"] <= 1.5
+            assert isinstance(scenario["from_cache"], bool)
+            assert len(scenario["cache_key"]) == 64       # sha256 hex
+        summary = report["summary"]
+        assert summary["scenarios"] == 2
+        assert summary["cache_hits"] + summary["cache_misses"] == summary["simulations"]
+        assert summary["jobs"] == 1
+        out = capsys.readouterr().out
+        assert "cache hits" in out
+
+    def test_attack_cross_product(self, tmp_path):
+        code, report = _sweep(
+            tmp_path,
+            "--trackers", "none",
+            "--attacks", "none,cache-thrashing",
+        )
+        assert code == 0
+        attacks = [scenario["attack"] for scenario in report["scenarios"]]
+        assert attacks == [None, "cache-thrashing"]
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--trackers", "none",
+                "--workloads", WORKLOAD,
+                "--cache-dir", str(tmp_path / "cache"),
+                "-o", "-",
+                *FAST_ARGS,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[: out.rindex("}") + 1])
+        assert report["summary"]["scenarios"] == 1
+
+
+class TestJobsAndCache:
+    def test_parallel_jobs_match_serial(self, tmp_path):
+        code_serial, serial = _sweep(
+            tmp_path / "serial", "--trackers", "none,dapper-h", "--jobs", "1"
+        )
+        code_parallel, parallel = _sweep(
+            tmp_path / "parallel", "--trackers", "none,dapper-h", "--jobs", "2"
+        )
+        assert code_serial == code_parallel == 0
+        assert [s["normalized_performance"] for s in serial["scenarios"]] == [
+            s["normalized_performance"] for s in parallel["scenarios"]
+        ]
+
+    def test_second_invocation_is_served_from_cache(self, tmp_path):
+        _sweep(tmp_path, "--trackers", "none,dapper-h")
+        code, report = _sweep(tmp_path, "--trackers", "none,dapper-h")
+        assert code == 0
+        summary = report["summary"]
+        assert summary["cache_hit_rate"] >= 0.9
+        assert all(s["from_cache"] for s in report["scenarios"])
+
+
+class TestExitCodes:
+    def test_unknown_tracker_exits_2(self, tmp_path, capsys):
+        code, _ = _sweep(tmp_path, "--trackers", "definitely-not-a-tracker")
+        assert code == 2
+        assert "unknown tracker" in capsys.readouterr().err
+
+    def test_unknown_attack_exits_2(self, tmp_path, capsys):
+        code, _ = _sweep(tmp_path, "--trackers", "none", "--attacks", "nope")
+        assert code == 2
+        assert "unknown attack" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, tmp_path, capsys):
+        code = main(["sweep", "--workloads", "not-a-workload", *FAST_ARGS])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_empty_tracker_list_exits_2(self, tmp_path, capsys):
+        code, _ = _sweep(tmp_path, "--trackers", ",")
+        assert code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_breakhammer_composition_is_accepted(self, tmp_path):
+        code, report = _sweep(tmp_path, "--trackers", "breakhammer:dapper-h")
+        assert code == 0
+        assert report["scenarios"][0]["tracker"] == "breakhammer:dapper-h"
