@@ -37,6 +37,7 @@ __all__ = [
     "MappingCaptureResult",
     "run_mapping_capture_attack",
     "tailored_attack_for",
+    "tailored_attack_name",
     "attack_by_name",
     "available_attacks",
 ]
@@ -103,6 +104,16 @@ def attack_by_name(
     return factory(org, mapper, seed)
 
 
+def tailored_attack_name(tracker_name: str) -> str:
+    """Short name of the Perf-Attack the paper tailors to ``tracker_name``.
+
+    Trackers without a tailored attack (Figure 2 covers Hydra, START, ABACUS,
+    CoMeT and the two DAPPER variants) fall back to the mapping-agnostic
+    row-streaming attack.
+    """
+    return _TAILORED.get(tracker_name, "row-streaming")
+
+
 def tailored_attack_for(
     tracker_name: str,
     org: DRAMOrganization,
@@ -110,5 +121,4 @@ def tailored_attack_for(
     seed: int = 1,
 ) -> AttackGenerator:
     """The RH-Tracker-based Perf-Attack the paper tailors to ``tracker_name``."""
-    attack_name = _TAILORED.get(tracker_name, "row-streaming")
-    return attack_by_name(attack_name, org, mapper, seed)
+    return attack_by_name(tailored_attack_name(tracker_name), org, mapper, seed)

@@ -10,6 +10,12 @@ Most attacks bypass the shared LLC (``bypasses_llc = True``): real attack
 kernels either flush their lines or walk footprints far larger than the LLC,
 and what matters to the attack is that every access reaches DRAM and causes a
 row activation.
+
+Paper context: the threat model of Section III -- the attacker is an
+unprivileged process on one (or, with core plans, several) of the cores.
+Key parameters: ``GAP_INSTRUCTIONS`` (one instruction of work per access)
+and the deep MLP override granted by the experiment layer, which together
+set the attacker's peak activation rate.
 """
 
 from __future__ import annotations

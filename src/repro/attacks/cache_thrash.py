@@ -3,7 +3,9 @@
 The attacker streams reads over a footprint many times larger than the shared
 LLC, evicting the benign cores' working sets and consuming DRAM bandwidth.
 The paper uses this attack as the yardstick Perf-Attacks are compared against
-(roughly a 40% average slowdown at the baseline configuration).
+(Section III, Figures 1 and 3-5: roughly a 40% average slowdown at the
+baseline configuration).  Key parameter: the streamed footprint, a multiple
+of the LLC size so no line survives between passes.
 """
 
 from __future__ import annotations

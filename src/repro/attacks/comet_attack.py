@@ -7,6 +7,9 @@ rapidly activates far more rows than the RAT can hold: the sketch saturates
 for all of them (helped by hash aliasing), the RAT thrashes, the RAT-miss rate
 crosses CoMeT's 25% reset trigger, and CoMeT repeatedly resets its structures
 by refreshing every row of the rank -- a multi-millisecond blackout each time.
+
+Paper context: Section III-B / Figure 2 (the ``rat-thrash`` kernel).  Key
+parameter: the hammered row count, a multiple of the 128-entry RAT.
 """
 
 from __future__ import annotations

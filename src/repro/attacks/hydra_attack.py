@@ -7,6 +7,10 @@ first pushes its rows' group counters past Hydra's per-row threshold, then
 keeps activating more rows than one RCC set can hold so that (almost) every
 activation misses, tripling the attacker's effective DRAM traffic and starving
 co-running applications of bandwidth.
+
+Paper context: Section III-B / Figure 2 (the ``rcc-conflict`` kernel).  Key
+parameters: the conflict-set size (beyond the RCC's 32 ways) and the group
+pre-charging phase that first flips the targets into per-row mode.
 """
 
 from __future__ import annotations

@@ -12,6 +12,11 @@ This one pattern is the tailored Perf-Attack against three different defences:
 * **DAPPER-S** (mapping-agnostic streaming attack) -- every group counter
   receives its members' activations and eventually triggers a group-wide
   mitigative refresh, regardless of the secret hash.
+
+Paper context: Section III-B / Figure 2 for the START and ABACUS variants,
+Section V-E for the mapping-agnostic use against DAPPER.  Key parameters:
+``row_stride`` (64 for START's counter lines) and ``distinct_row_ids``
+(ABACUS tracks row identifiers, not physical rows).
 """
 
 from __future__ import annotations

@@ -23,6 +23,14 @@ without writing Python:
     Freeze a synthetic workload to a replayable trace file.
 ``python -m repro.cli sweep --trackers a,b --attacks x --workloads w [--jobs N]``
     Run a tracker x attack x workload cross-product through the sweep engine.
+``python -m repro.cli scenarios list`` / ``scenarios show <family>``
+    Browse the scenario catalog: named families (multi-attacker, workload
+    blends, hammer-rate sweeps, fuzz, the paper's own figure batches) and
+    their parameters.
+``python -m repro.cli scenarios run <suite.yaml> [--jobs N]``
+    Compile a YAML/JSON suite file through the catalog and execute it with
+    the same caching/fan-out machinery as ``sweep`` (see docs/scenarios.md
+    for the suite format).
 
 Running sweeps
 --------------
@@ -194,6 +202,43 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0 / 16.0,
         help="refresh-window scale used for short simulation windows",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="browse the scenario catalog and run declarative suite files",
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_sub.add_parser("list", help="list the registered scenario families")
+    scenarios_show = scenarios_sub.add_parser(
+        "show", help="show one family's parameters and defaults"
+    )
+    scenarios_show.add_argument("family", help="scenario family name")
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="compile and execute a YAML/JSON suite file"
+    )
+    scenarios_run.add_argument("suite", help="path of the suite file")
+    scenarios_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan simulations out over",
+    )
+    scenarios_run.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="on-disk result cache directory ('' disables caching)",
+    )
+    scenarios_run.add_argument(
+        "-o",
+        "--output",
+        default="scenario-report.json",
+        help="path of the JSON report ('-' prints it to stdout)",
+    )
+    scenarios_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="only compile the suite and list its scenarios",
     )
 
     sub.add_parser("list-attacks", help="list the available attack kernels")
@@ -376,7 +421,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     outcomes = runner.run(specs)
     elapsed = time.monotonic() - started
 
-    stats = runner.stats
     report = {
         "config": {
             "nrh": args.nrh,
@@ -385,54 +429,142 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "seed": args.seed if args.seed is not None else config.seed,
             "attack_matched_baseline": args.attack_matched_baseline,
         },
-        "scenarios": [
-            {
-                **outcome.spec.describe(),
-                "cache_key": outcome.spec.cache_key(),
-                "normalized_performance": outcome.normalized,
-                "slowdown_percent": slowdown_percent(outcome.normalized),
-                "from_cache": outcome.from_cache,
-                "baseline_from_cache": outcome.baseline_from_cache,
-                "mitigations_issued": outcome.result.tracker_stats.mitigations_issued,
-                "dram_activations": outcome.result.dram_stats.activations,
-            }
-            for outcome in outcomes
-        ],
-        "summary": {
-            "scenarios": stats.scenarios,
-            "simulations": stats.simulations,
-            "cache_hits": stats.cache_hits,
-            "cache_misses": stats.cache_misses,
-            "cache_hit_rate": stats.hit_rate,
-            "baselines_shared": stats.baselines_shared,
-            "jobs": args.jobs,
-            "cache_dir": args.cache_dir or None,
-            "elapsed_seconds": elapsed,
-        },
+        "scenarios": _outcome_rows(outcomes),
+        "summary": _run_summary(runner.stats, args, elapsed),
     }
+    _write_report(report, args.output, len(outcomes))
+    _print_outcomes(outcomes, runner.stats, elapsed, args.jobs)
+    return 0
+
+
+def _outcome_rows(outcomes) -> list[dict]:
+    """One JSON-report row per sweep outcome."""
+    return [
+        {
+            **outcome.spec.describe(),
+            "cache_key": outcome.spec.cache_key(),
+            "normalized_performance": outcome.normalized,
+            "slowdown_percent": slowdown_percent(outcome.normalized),
+            "from_cache": outcome.from_cache,
+            "baseline_from_cache": outcome.baseline_from_cache,
+            "mitigations_issued": outcome.result.tracker_stats.mitigations_issued,
+            "dram_activations": outcome.result.dram_stats.activations,
+        }
+        for outcome in outcomes
+    ]
+
+
+def _run_summary(stats, args: argparse.Namespace, elapsed: float) -> dict:
+    return {
+        "scenarios": stats.scenarios,
+        "simulations": stats.simulations,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_hit_rate": stats.hit_rate,
+        "baselines_shared": stats.baselines_shared,
+        "jobs": args.jobs,
+        "cache_dir": args.cache_dir or None,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def _write_report(report: dict, output: str, count: int) -> None:
     serialized = json.dumps(report, indent=2)
-    if args.output == "-":
+    if output == "-":
         print(serialized)
     else:
-        with open(args.output, "w", encoding="utf-8") as handle:
+        with open(output, "w", encoding="utf-8") as handle:
             handle.write(serialized + "\n")
-        print(f"wrote {args.output} ({len(outcomes)} scenarios)")
+        print(f"wrote {output} ({count} scenarios)")
 
+
+def _scenario_line_label(spec) -> str:
+    """What a scenario ran: its attack, or its core plan for plan specs."""
+    if spec.core_plan is not None:
+        attackers = [a.label() for a in spec.core_plan if a.is_attacker]
+        return "+".join(attackers) if attackers else "blend"
+    return spec.attack or "none"
+
+
+def _print_outcomes(outcomes, stats, elapsed: float, jobs: int) -> None:
     for outcome in outcomes:
         spec = outcome.spec
         origin = "cache" if outcome.from_cache else "run"
         print(
             f"{spec.tracker:<16} {spec.workload_name:<12} "
-            f"{spec.attack or 'none':<18} {outcome.normalized:.4f} "
+            f"{_scenario_line_label(spec):<18} {outcome.normalized:.4f} "
             f"({slowdown_percent(outcome.normalized):6.2f}% slowdown) [{origin}]"
         )
     print(
         f"simulations: {stats.simulations}  cache hits: {stats.cache_hits} "
         f"({stats.hit_rate * 100.0:.0f}%)  misses: {stats.cache_misses}  "
         f"baselines shared: {stats.baselines_shared}  "
-        f"elapsed: {elapsed:.1f}s  jobs: {args.jobs}"
+        f"elapsed: {elapsed:.1f}s  jobs: {jobs}"
     )
-    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_families, family_by_name, load_suite
+    from repro.scenarios.catalog import REQUIRED
+
+    if args.scenarios_command == "list":
+        for name in available_families():
+            family = family_by_name(name)
+            print(f"{name:<22} {family.description}")
+        return 0
+
+    if args.scenarios_command == "show":
+        try:
+            family = family_by_name(args.family)
+        except ValueError as error:
+            print(f"scenarios: {error}", file=sys.stderr)
+            return 2
+        print(f"family      : {family.name}")
+        print(f"description : {family.description}")
+        print("parameters  :")
+        for parameter in family.parameters:
+            default = (
+                "(required)"
+                if parameter.default is REQUIRED
+                else f"default={parameter.default!r}"
+            )
+            doc = f"  -- {parameter.doc}" if parameter.doc else ""
+            print(f"  {parameter.name:<24} {default}{doc}")
+        return 0
+
+    if args.scenarios_command == "run":
+        try:
+            suite = load_suite(args.suite)
+            specs = suite.compile()
+        except ValueError as error:
+            print(f"scenarios: {error}", file=sys.stderr)
+            return 2
+        if args.dry_run:
+            print(f"suite {suite.name!r}: {len(specs)} scenario(s)")
+            for spec in specs:
+                print(f"  {json.dumps(spec.describe())}")
+            return 0
+        runner = SweepRunner(cache_dir=args.cache_dir or None, jobs=args.jobs)
+        started = time.monotonic()
+        outcomes = runner.run(specs)
+        elapsed = time.monotonic() - started
+        report = {
+            "suite": {
+                "name": suite.name,
+                "description": suite.description,
+                "path": args.suite,
+                "families": [entry.family for entry in suite.entries],
+            },
+            "scenarios": _outcome_rows(outcomes),
+            "summary": _run_summary(runner.stats, args, elapsed),
+        }
+        _write_report(report, args.output, len(outcomes))
+        _print_outcomes(outcomes, runner.stats, elapsed, args.jobs)
+        return 0
+
+    raise AssertionError(
+        f"unhandled scenarios command {args.scenarios_command}"
+    )  # pragma: no cover
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -508,6 +640,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_security_sweep(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

@@ -167,6 +167,29 @@ def get_workload(name: str) -> WorkloadProfile:
     return _BY_NAME[name]
 
 
+def scale_profile(profile: WorkloadProfile, intensity: float) -> WorkloadProfile:
+    """A copy of ``profile`` with its memory intensity scaled.
+
+    ``intensity`` multiplies the APKI (0.5 = half as many LLC accesses per
+    kilo-instruction, 2.0 = twice as many); locality, footprint and the
+    read/write mix are unchanged.  Scenario core plans use this to run the
+    same application at different per-core pressures in one blend.  The
+    scaled profile is renamed (``name#x<intensity>``) so results and cache
+    keys cannot be confused with the original.
+    """
+    if not intensity > 0:
+        raise ValueError(f"intensity must be positive, got {intensity}")
+    if intensity == 1.0:
+        return profile
+    from dataclasses import replace
+
+    return replace(
+        profile,
+        name=f"{profile.name}#x{intensity:g}",
+        apki=profile.apki * intensity,
+    )
+
+
 def workloads_in_suite(suite: str) -> tuple[WorkloadProfile, ...]:
     """All workloads belonging to the given suite, in definition order."""
     if suite not in SUITES:

@@ -23,6 +23,7 @@ Two methodology notes (see EXPERIMENTS.md for the full discussion):
 
 from __future__ import annotations
 
+from repro.attacks import tailored_attack_name
 from repro.config import (
     MitigationCommand,
     SystemConfig,
@@ -30,36 +31,23 @@ from repro.config import (
     large_system_config,
     reduced_row_config,
 )
-from repro.cpu.workloads import SUITES, workloads_in_suite
 from repro.eval.report import FigureData
+from repro.scenarios import family_by_name
+from repro.scenarios.families import (
+    DEFAULT_TREFW_SCALE,
+    MOTIVATION_TRACKERS,
+    default_workloads,
+    full_geometry_config,
+    motivation_series,
+    paper_figure12_series,
+    streaming_config,
+)
 from repro.sim.experiment import ExperimentRunner
-from repro.sim.sweep import ScenarioSpec, SweepRunner
-
-#: The scalable trackers the motivation section attacks.
-MOTIVATION_TRACKERS: tuple[str, ...] = ("hydra", "start", "abacus", "comet")
-
-#: Refresh-window scale used by short simulation windows (see DESIGN.md).
-DEFAULT_TREFW_SCALE = 1.0 / 16.0
+from repro.sim.sweep import SweepRunner
 
 #: RowHammer thresholds swept by the sensitivity figures.
 FULL_NRH_SWEEP: tuple[int, ...] = (125, 250, 500, 1000, 2000, 4000)
 MOTIVATION_NRH_SWEEP: tuple[int, ...] = (500, 1000, 2000, 4000)
-
-
-def default_workloads(per_suite: int = 1) -> list[str]:
-    """A representative subset: the most memory-intensive workloads per suite.
-
-    The paper's headline behaviours are driven by the memory-intensive
-    workloads (its Figure 3/10/11 even split them out), so the quick subset
-    picks the highest-APKI applications of each suite.
-    """
-    selected: list[str] = []
-    for suite in SUITES:
-        profiles = sorted(
-            workloads_in_suite(suite), key=lambda p: p.apki, reverse=True
-        )
-        selected.extend(profile.name for profile in profiles[:per_suite])
-    return selected
 
 
 def _motivation_runner(
@@ -105,35 +93,17 @@ def _suite_of(workload_name: str) -> str:
 
 # --------------------------------------------------------------------------- #
 # Sweep-based figure plumbing: figures that are plain scenario cross-products
-# declare their scenarios as ScenarioSpecs and execute them through a
-# SweepRunner, which deduplicates shared insecure baselines across the whole
-# batch (and, given a cache directory, replays previously simulated scenarios
-# from disk).  Pass ``sweep=SweepRunner(cache_dir=..., jobs=...)`` to any such
-# figure to parallelise or cache its regeneration.
+# declare their scenarios as catalog families (repro.scenarios.families, the
+# ``paper-*`` entries) and execute them through a SweepRunner, which
+# deduplicates shared insecure baselines across the whole batch (and, given a
+# cache directory, replays previously simulated scenarios from disk).  Pass
+# ``sweep=SweepRunner(cache_dir=..., jobs=...)`` to any such figure to
+# parallelise or cache its regeneration; suite files that reference the same
+# ``paper-*`` families share the cache entries.
 # --------------------------------------------------------------------------- #
-
-
-def _full_geometry_config(nrh: int) -> SystemConfig:
-    return baseline_config(nrh=nrh).with_refresh_window_scale(DEFAULT_TREFW_SCALE)
-
-
-def _streaming_config(nrh: int) -> SystemConfig:
-    return reduced_row_config(nrh=nrh).with_refresh_window_scale(DEFAULT_TREFW_SCALE)
-
 
 def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
-
-
-def _motivation_series() -> list[tuple[str, str, str]]:
-    """(label, tracker, attack) triples of the motivation experiments: cache
-    thrashing on the unprotected system, then each scalable tracker under its
-    tailored Perf-Attack."""
-    from repro.attacks import _TAILORED
-
-    return [("cache-thrashing", "none", "cache-thrashing")] + [
-        (tracker, tracker, _TAILORED[tracker]) for tracker in MOTIVATION_TRACKERS
-    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -158,13 +128,12 @@ def figure1(
     series = [("cache-thrashing", "none", "cache-thrashing")] + [
         (tracker, tracker, None) for tracker in MOTIVATION_TRACKERS
     ]
-    from repro.attacks import _TAILORED
 
     by_suite: dict[str, dict[str, list[float]]] = {}
     for workload in workloads:
         suite = _suite_of(workload)
         for label, tracker, attack in series:
-            attack_name = attack or _TAILORED[tracker]
+            attack_name = attack or tailored_attack_name(tracker)
             run = runner.run(tracker, workload, attack=attack_name)
             by_suite.setdefault(suite, {}).setdefault(label, []).append(
                 run.normalized
@@ -212,15 +181,13 @@ def figure2(
         name="figure2",
         title="Attack mechanics: counter traffic and reset blackouts",
     )
-    from repro.attacks import _TAILORED
-
     for tracker in MOTIVATION_TRACKERS:
-        run = runner.run(tracker, workload, attack=_TAILORED[tracker])
+        run = runner.run(tracker, workload, attack=tailored_attack_name(tracker))
         stats = run.result.dram_stats
         activations = max(1, stats.activations)
         figure.add(
             tracker=tracker,
-            attack=_TAILORED[tracker],
+            attack=tailored_attack_name(tracker),
             counter_accesses_per_kilo_act=1000.0
             * (stats.counter_reads + stats.counter_writes)
             / activations,
@@ -245,25 +212,16 @@ def figure3(
     and tailored Perf-Attacks for the four scalable trackers."""
     workloads = workloads or default_workloads(1)
     sweep = sweep or SweepRunner()
-    config = _full_geometry_config(nrh)
     figure = FigureData(
         name="figure3",
         title=f"Per-workload impact of Perf-Attacks (NRH={nrh})",
     )
     from repro.cpu.workloads import get_workload
 
-    series = _motivation_series()
-    specs = [
-        ScenarioSpec(
-            tracker=tracker,
-            workload=workload,
-            attack=attack,
-            requests_per_core=requests_per_core,
-            config=config,
-        )
-        for workload in workloads
-        for _, tracker, attack in series
-    ]
+    series = motivation_series()
+    specs = family_by_name("paper-figure3").expand(
+        {"workloads": workloads, "requests_per_core": requests_per_core, "nrh": nrh}
+    )
     outcomes = iter(sweep.run(specs))
     for workload in workloads:
         memory_intensive = get_workload(workload).memory_intensive
@@ -290,19 +248,14 @@ def figure4(
         name="figure4",
         title="Perf-Attack slowdowns as NRH varies",
     )
-    series = _motivation_series()
-    specs = [
-        ScenarioSpec(
-            tracker=tracker,
-            workload=workload,
-            attack=attack,
-            requests_per_core=requests_per_core,
-            config=_full_geometry_config(nrh),
-        )
-        for nrh in nrh_values
-        for _, tracker, attack in series
-        for workload in workloads
-    ]
+    series = motivation_series()
+    specs = family_by_name("paper-figure4").expand(
+        {
+            "workloads": workloads,
+            "requests_per_core": requests_per_core,
+            "nrh_values": nrh_values,
+        }
+    )
     outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
         for label, _, _ in series:
@@ -457,22 +410,15 @@ def figure11(
     """Figure 11: DAPPER-H on benign applications (no attacker)."""
     workloads = workloads or default_workloads(1)
     sweep = sweep or SweepRunner()
-    config = _full_geometry_config(nrh)
     figure = FigureData(
         name="figure11",
         title="Normalized performance of DAPPER-H on benign applications",
     )
     from repro.cpu.workloads import get_workload
 
-    specs = [
-        ScenarioSpec(
-            tracker="dapper-h",
-            workload=workload,
-            requests_per_core=requests_per_core,
-            config=config,
-        )
-        for workload in workloads
-    ]
+    specs = family_by_name("paper-figure11").expand(
+        {"workloads": workloads, "requests_per_core": requests_per_core, "nrh": nrh}
+    )
     for workload, outcome in zip(workloads, sweep.run(specs)):
         figure.add(
             workload=workload,
@@ -502,32 +448,16 @@ def figure12(
         name="figure12",
         title="DAPPER-H vs NRH under benign and Perf-Attack conditions",
     )
-
-    def _series(nrh: int) -> list[tuple[str, str | None, SystemConfig]]:
-        # The streaming attack needs the reduced-row geometry (see
-        # _streaming_runner); the batch mixes both configurations freely.
-        return [
-            ("DAPPER-H", None, _full_geometry_config(nrh)),
-            ("DAPPER-H-Streaming", "row-streaming", _streaming_config(nrh)),
-            ("DAPPER-H-Refresh", "refresh", _full_geometry_config(nrh)),
-        ]
-
-    specs = [
-        ScenarioSpec(
-            tracker="dapper-h",
-            workload=workload,
-            attack=attack,
-            requests_per_core=requests_per_core,
-            attack_matched_baseline=attack is not None,
-            config=config,
-        )
-        for nrh in nrh_values
-        for _, attack, config in _series(nrh)
-        for workload in workloads
-    ]
+    specs = family_by_name("paper-figure12").expand(
+        {
+            "workloads": workloads,
+            "requests_per_core": requests_per_core,
+            "nrh_values": nrh_values,
+        }
+    )
     outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
-        for label, _, _ in _series(nrh):
+        for label, _, _ in paper_figure12_series(nrh):
             values = [next(outcomes).normalized for _ in workloads]
             figure.add(nrh=nrh, series=label, normalized_performance=_mean(values))
     figure.notes.append(

@@ -8,13 +8,10 @@ from repro.analysis.dapper_h_security import analyze_dapper_h_mapping_capture
 from repro.analysis.mapping_capture import table2_rows
 from repro.analysis.storage import storage_comparison_table
 from repro.config import SystemConfig, baseline_config
-from repro.eval.figures import (
-    _full_geometry_config,
-    _streaming_config,
-    default_workloads,
-)
 from repro.eval.report import FigureData
-from repro.sim.sweep import ScenarioSpec, SweepRunner
+from repro.scenarios import default_workloads, family_by_name
+from repro.scenarios.families import paper_table4_series
+from repro.sim.sweep import SweepRunner
 
 
 def table1(config: SystemConfig | None = None) -> FigureData:
@@ -107,32 +104,16 @@ def table4(
     workloads = workloads or default_workloads(1)[:3]
     sweep = sweep or SweepRunner()
     table = FigureData(name="table4", title="Energy overhead of DAPPER-H")
-
-    def _scenarios(nrh: int) -> list[tuple[str, str | None, SystemConfig]]:
-        full_config = _full_geometry_config(nrh)
-        streaming_config = _streaming_config(nrh)
-        return [
-            ("benign", None, full_config),
-            ("streaming", "row-streaming", streaming_config),
-            ("refresh", "refresh", full_config),
-        ]
-
-    specs = [
-        ScenarioSpec(
-            tracker="dapper-h",
-            workload=workload,
-            attack=attack,
-            requests_per_core=requests_per_core,
-            attack_matched_baseline=attack is not None,
-            config=config,
-        )
-        for nrh in nrh_values
-        for _, attack, config in _scenarios(nrh)
-        for workload in workloads
-    ]
+    specs = family_by_name("paper-table4").expand(
+        {
+            "workloads": workloads,
+            "requests_per_core": requests_per_core,
+            "nrh_values": nrh_values,
+        }
+    )
     outcomes = iter(sweep.run(specs))
     for nrh in nrh_values:
-        for scenario, _, _ in _scenarios(nrh):
+        for scenario, _, _ in paper_table4_series(nrh):
             overheads = []
             for _ in workloads:
                 outcome = next(outcomes)

@@ -1,0 +1,57 @@
+"""Declarative scenario catalog.
+
+The catalog turns scenario *shapes* into data: named, parameterized families
+(:mod:`repro.scenarios.catalog`) expand into
+:class:`~repro.sim.sweep.ScenarioSpec` batches, and suite files
+(:mod:`repro.scenarios.suite`) compose families declaratively in YAML/JSON.
+Everything compiles down to the sweep engine, so on-disk caching, in-batch
+baseline deduplication and process-pool fan-out apply to every scenario a
+family can express -- including multi-attacker and mixed-workload core plans
+the classic harness could not.
+
+Importing this package registers the built-in families
+(:mod:`repro.scenarios.families`).  See ``docs/scenarios.md`` for the suite
+format reference and ``repro.cli scenarios list/show/run`` for the CLI.
+"""
+
+from repro.scenarios.catalog import (
+    Parameter,
+    ScenarioFamily,
+    available_families,
+    family_by_name,
+    register_family,
+)
+from repro.scenarios.families import (
+    DEFAULT_TREFW_SCALE,
+    MOTIVATION_TRACKERS,
+    default_workloads,
+    full_geometry_config,
+    motivation_series,
+    streaming_config,
+)
+from repro.scenarios.suite import (
+    ScenarioSuite,
+    SuiteEntry,
+    load_suite,
+    parse_suite,
+    parse_suite_text,
+)
+
+__all__ = [
+    "Parameter",
+    "ScenarioFamily",
+    "available_families",
+    "family_by_name",
+    "register_family",
+    "DEFAULT_TREFW_SCALE",
+    "MOTIVATION_TRACKERS",
+    "default_workloads",
+    "full_geometry_config",
+    "motivation_series",
+    "streaming_config",
+    "ScenarioSuite",
+    "SuiteEntry",
+    "load_suite",
+    "parse_suite",
+    "parse_suite_text",
+]

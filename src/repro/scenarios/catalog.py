@@ -1,0 +1,120 @@
+"""Registry of named, parameterized scenario families.
+
+A *scenario family* is a declarative recipe that expands a small set of
+parameters into a list of :class:`~repro.sim.sweep.ScenarioSpec` objects --
+the unit the sweep engine caches, deduplicates and fans out over worker
+processes.  Families are how the repo expresses "as many scenarios as you can
+imagine" without writing Python: suite files (:mod:`repro.scenarios.suite`)
+name a family and its parameters, the family compiles them down to specs, and
+everything downstream (caching, pooling, normalization) comes for free.
+
+Families are registered at import time by :mod:`repro.scenarios.families`
+(the built-in catalog, including the paper's own figure scenarios) and can be
+extended by user code through :func:`register_family`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.sim.sweep import ScenarioSpec
+
+#: Sentinel default marking a parameter the caller must supply.
+REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One declared parameter of a scenario family."""
+
+    name: str
+    default: object = REQUIRED
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named recipe expanding parameters into :class:`ScenarioSpec` lists.
+
+    ``builder`` receives every declared parameter as a keyword argument
+    (caller values merged over declared defaults) and returns an iterable of
+    specs.  :meth:`expand` is the only entry point: it validates parameter
+    names, fills defaults, and rejects missing required values -- so builders
+    can assume a complete, known-key parameter mapping.
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., Iterable[ScenarioSpec]]
+    parameters: tuple[Parameter, ...] = field(default=())
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(parameter.name for parameter in self.parameters)
+
+    def expand(self, params: Mapping | None = None) -> list[ScenarioSpec]:
+        """Expand the family into scenario specs (raises ``ValueError``)."""
+        params = dict(params or {})
+        known = set(self.parameter_names())
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(
+                f"family {self.name!r} does not take parameter(s) "
+                f"{', '.join(sorted(repr(name) for name in unknown))}; "
+                f"known: {', '.join(sorted(known)) or '(none)'}"
+            )
+        merged: dict = {}
+        for parameter in self.parameters:
+            if parameter.name in params:
+                merged[parameter.name] = params[parameter.name]
+            elif parameter.required:
+                raise ValueError(
+                    f"family {self.name!r} requires parameter {parameter.name!r}"
+                )
+            else:
+                merged[parameter.name] = parameter.default
+        try:
+            specs = list(self.builder(**merged))
+        except TypeError as error:
+            # Builders coerce parameter values with int()/float(); a suite
+            # supplying e.g. a list where a number belongs must surface as
+            # the documented ValueError contract.  The original exception is
+            # chained so a genuine builder bug keeps its traceback.
+            raise ValueError(
+                f"family {self.name!r}: bad parameter value ({error})"
+            ) from error
+        if not specs:
+            raise ValueError(
+                f"family {self.name!r} expanded to zero scenarios "
+                f"(parameters: {params or '{}'})"
+            )
+        return specs
+
+
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily) -> ScenarioFamily:
+    """Add a family to the catalog (replacing any previous registration)."""
+    _FAMILIES[family.name] = family
+    return family
+
+
+def available_families() -> tuple[str, ...]:
+    """Names of every registered scenario family, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def family_by_name(name: str) -> ScenarioFamily:
+    """Look a family up by name (raises ``ValueError`` for unknown names)."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario family {name!r}; "
+            f"available: {', '.join(available_families())}"
+        ) from None

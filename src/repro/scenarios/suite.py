@@ -1,0 +1,177 @@
+"""Suite files: declarative scenario batches in YAML or JSON.
+
+A suite file names scenario families and their parameters; loading it and
+calling :meth:`ScenarioSuite.compile` produces the flat
+:class:`~repro.sim.sweep.ScenarioSpec` list the sweep engine executes.  The
+format::
+
+    suite: demo                    # optional name
+    description: what this probes  # optional
+    defaults:                      # optional, applied to every entry whose
+      nrh: 500                     # family declares the parameter (the
+      requests_per_core: 2000      # entry's own params always win)
+    scenarios:
+      - family: multi-attacker
+        params:
+          tracker: dapper-h
+          attackers: [blind-random-rows, {attack: row-streaming, hammer_rate: 0.5}]
+          workloads: [{workload: 429.mcf, intensity: 1.5}, 470.lbm]
+      - family: fuzz
+        params: {count: 4, seed: 7}
+
+YAML suites need PyYAML; when it is not installed, JSON suites (same
+structure) keep working and YAML files raise a clear error.  All validation
+errors -- unknown family, unknown or missing parameters, unknown workload or
+attack names -- are reported as ``ValueError`` with the entry index, so the
+CLI can print them without a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.scenarios.catalog import family_by_name
+from repro.sim.sweep import ScenarioSpec
+
+try:  # PyYAML is optional: JSON suites work without it.
+    import yaml as _yaml
+except ImportError:  # pragma: no cover - depends on the environment
+    _yaml = None
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One family invocation inside a suite."""
+
+    family: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """A parsed suite file: defaults plus an ordered list of entries."""
+
+    name: str
+    entries: tuple[SuiteEntry, ...]
+    defaults: dict = field(default_factory=dict)
+    description: str = ""
+
+    def compile(self) -> list[ScenarioSpec]:
+        """Expand every entry into specs, in suite order.
+
+        Suite defaults are merged under each entry's parameters, but only the
+        keys the entry's family actually declares -- so a shared ``nrh``
+        default does not break a family without that knob.
+        """
+        specs: list[ScenarioSpec] = []
+        for index, entry in enumerate(self.entries):
+            try:
+                family = family_by_name(entry.family)
+            except ValueError as error:
+                raise ValueError(
+                    f"suite {self.name!r}, scenario #{index + 1}: {error}"
+                ) from None
+            known = set(family.parameter_names())
+            params = {
+                key: value
+                for key, value in self.defaults.items()
+                if key in known
+            }
+            params.update(entry.params)
+            try:
+                specs.extend(family.expand(params))
+            except ValueError as error:
+                raise ValueError(
+                    f"suite {self.name!r}, scenario #{index + 1} "
+                    f"(family {entry.family!r}): {error}"
+                ) from None
+        return specs
+
+
+def parse_suite(data: object, name: str = "suite") -> ScenarioSuite:
+    """Validate a parsed suite document (raises ``ValueError``)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"suite {name!r}: top level must be a mapping")
+    unknown = set(data) - {"suite", "name", "description", "defaults", "scenarios"}
+    if unknown:
+        raise ValueError(
+            f"suite {name!r}: unknown top-level keys: {', '.join(sorted(unknown))}"
+        )
+    suite_name = data.get("suite") or data.get("name") or name
+    defaults = data.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise ValueError(f"suite {suite_name!r}: 'defaults' must be a mapping")
+    raw_entries = data.get("scenarios")
+    if not isinstance(raw_entries, list) or not raw_entries:
+        raise ValueError(
+            f"suite {suite_name!r}: 'scenarios' must be a non-empty list"
+        )
+    entries = []
+    for index, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"suite {suite_name!r}, scenario #{index + 1}: must be a mapping"
+            )
+        unknown = set(raw) - {"family", "params"}
+        if unknown:
+            raise ValueError(
+                f"suite {suite_name!r}, scenario #{index + 1}: unknown keys: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        family = raw.get("family")
+        if not isinstance(family, str) or not family:
+            raise ValueError(
+                f"suite {suite_name!r}, scenario #{index + 1}: "
+                "'family' must be a non-empty string"
+            )
+        params = raw.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError(
+                f"suite {suite_name!r}, scenario #{index + 1}: "
+                "'params' must be a mapping"
+            )
+        entries.append(SuiteEntry(family=family, params=dict(params)))
+    return ScenarioSuite(
+        name=str(suite_name),
+        entries=tuple(entries),
+        defaults=dict(defaults),
+        description=str(data.get("description") or ""),
+    )
+
+
+def parse_suite_text(
+    text: str, format: str = "yaml", name: str = "suite"
+) -> ScenarioSuite:
+    """Parse suite source text in the given format ('yaml' or 'json')."""
+    if format == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"suite {name!r}: invalid JSON: {error}") from None
+    elif format == "yaml":
+        if _yaml is None:
+            raise ValueError(
+                f"suite {name!r}: PyYAML is not installed; "
+                "use a JSON suite file instead"
+            )
+        try:
+            data = _yaml.safe_load(text)
+        except _yaml.YAMLError as error:
+            raise ValueError(f"suite {name!r}: invalid YAML: {error}") from None
+    else:
+        raise ValueError(f"unknown suite format {format!r}; use 'yaml' or 'json'")
+    return parse_suite(data, name=name)
+
+
+def load_suite(path: str | os.PathLike) -> ScenarioSuite:
+    """Load a suite file, picking the parser from the file extension."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ValueError(f"cannot read suite file {path}: {error}") from None
+    format = "json" if path.suffix.lower() == ".json" else "yaml"
+    return parse_suite_text(text, format=format, name=path.stem)

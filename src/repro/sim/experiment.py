@@ -5,6 +5,13 @@ homogeneous copies of a workload; in attack configurations core 0 runs the
 attack kernel instead and the performance of the remaining three benign copies
 is reported, normalised to the insecure baseline (no mitigation, no attacker)
 running the same benign copies.
+
+Beyond the paper's fixed layout, :func:`build_core_specs_from_plan` realises
+heterogeneous *core plans* (see :class:`repro.sim.sweep.CoreAssignment`):
+several attacker cores running different kernels at individual hammer rates,
+mixed benign workload blends with per-core intensity, and idle cores.  The
+scenario catalog (:mod:`repro.scenarios`) compiles its families down to these
+plans.
 """
 
 from __future__ import annotations
@@ -13,12 +20,12 @@ from dataclasses import dataclass
 
 from repro.attacks import attack_by_name
 from repro.config import SystemConfig, baseline_config
-from repro.cpu.trace import WorkloadTraceGenerator
+from repro.cpu.trace import TraceEntry, WorkloadTraceGenerator
 from repro.cpu.workloads import WorkloadProfile, get_workload
 from repro.dram.address import AddressMapper
 from repro.sim.metrics import benign_normalized_performance
 from repro.sim.simulator import CoreSpec, SimulationResult, Simulator
-from repro.sim.sweep import ScenarioSpec, SweepRunner
+from repro.sim.sweep import CoreAssignment, ScenarioSpec, SweepRunner
 from repro.trackers.base import RowHammerTracker
 from repro.trackers.registry import create_tracker
 
@@ -26,6 +33,44 @@ from repro.trackers.registry import create_tracker
 #: streams independent misses and is limited by the ROB, not by a typical
 #: benign application's MSHR usage).
 ATTACKER_MLP = 24
+
+#: Seed perturbation applied to attack kernels so an attacker and a benign
+#: generator with the same scenario seed never draw the same stream.
+_ATTACK_SEED_SALT = 0xA77ACF
+
+
+class ThrottledGenerator:
+    """Wraps an attack generator, stretching its instruction gaps.
+
+    A hammer rate of ``r`` in ``(0, 1]`` multiplies every instruction gap by
+    ``1/r``, so a throttled attacker issues requests proportionally more
+    slowly when compute-bound (its memory-level parallelism is reduced in
+    :func:`build_core_specs_from_plan` for the DRAM-bound regime).  Because
+    attack kernels emit single-instruction gaps, the fractional part of the
+    stretch is carried across entries instead of rounded away -- the *mean*
+    gap is exactly ``gap / r`` for every rate.
+    """
+
+    def __init__(self, generator, hammer_rate: float):
+        if not 0 < hammer_rate <= 1.0:
+            raise ValueError(f"hammer_rate must be in (0, 1], got {hammer_rate}")
+        self._generator = generator
+        self._stretch = 1.0 / hammer_rate
+        self._carry = 0.0
+        self.bypasses_llc = generator.bypasses_llc
+
+    def next_entry(self) -> TraceEntry:
+        entry = self._generator.next_entry()
+        self._carry += entry.gap_instructions * self._stretch
+        stretched = max(1, int(self._carry))
+        self._carry -= stretched
+        if stretched == entry.gap_instructions:
+            return entry
+        return TraceEntry(
+            gap_instructions=stretched,
+            address=entry.address,
+            is_write=entry.is_write,
+        )
 
 
 @dataclass(frozen=True)
@@ -44,6 +89,11 @@ def _resolve_workload(workload: str | WorkloadProfile) -> WorkloadProfile:
     if isinstance(workload, WorkloadProfile):
         return workload
     return get_workload(workload)
+
+
+def _attacker_seed(seed: int, core_id: int) -> int:
+    """Per-core attack-kernel seed (core 0 matches the classic layout)."""
+    return seed ^ _ATTACK_SEED_SALT ^ (core_id * 0x9E3779B1)
 
 
 def build_core_specs(
@@ -67,7 +117,9 @@ def build_core_specs(
     specs: list[CoreSpec] = []
     for core_id in range(num_cores):
         if attack is not None and core_id == 0:
-            generator = attack_by_name(attack, org, mapper, seed=seed ^ 0xA77ACF)
+            generator = attack_by_name(
+                attack, org, mapper, seed=seed ^ _ATTACK_SEED_SALT
+            )
             specs.append(
                 CoreSpec(
                     generator=generator,
@@ -92,6 +144,75 @@ def build_core_specs(
                 mean_gap_instructions=mean_gap,
             )
         )
+    return specs
+
+
+def build_core_specs_from_plan(
+    config: SystemConfig,
+    plan: tuple[CoreAssignment, ...],
+    requests_per_core: int,
+    seed: int,
+) -> list[CoreSpec]:
+    """Build the per-core generators for a heterogeneous core plan.
+
+    One :class:`~repro.sim.sweep.CoreAssignment` per core: benign cores run
+    their (intensity-scaled) profile with the usual request budget, attacker
+    cores run their kernel unbudgeted at ``hammer_rate`` aggressiveness, and
+    idle cores issue nothing.  A plan of ``[attack, workload x 3]`` at full
+    hammer rate reproduces the classic single-attacker layout exactly (same
+    generators, same seeds).
+    """
+    if len(plan) > config.cores.num_cores:
+        raise ValueError(
+            f"core plan has {len(plan)} assignments but the configuration "
+            f"only has {config.cores.num_cores} cores"
+        )
+    mapper = AddressMapper(config.dram)
+    org = config.dram
+
+    specs: list[CoreSpec] = []
+    for core_id, assignment in enumerate(plan):
+        if assignment.role == "idle":
+            specs.append(
+                CoreSpec(generator=None, request_budget=None)
+            )
+            continue
+        if assignment.is_attacker:
+            generator = attack_by_name(
+                assignment.name, org, mapper, seed=_attacker_seed(seed, core_id)
+            )
+            rate = assignment.hammer_rate
+            if rate < 1.0:
+                generator = ThrottledGenerator(generator, rate)
+            specs.append(
+                CoreSpec(
+                    generator=generator,
+                    request_budget=None,
+                    mean_gap_instructions=1.0 / rate,
+                    is_attacker=True,
+                    max_outstanding_override=max(1, int(ATTACKER_MLP * rate)),
+                )
+            )
+            continue
+        profile = assignment.resolved_profile()
+        generator = WorkloadTraceGenerator(
+            profile=profile,
+            org=org,
+            mapper=mapper,
+            core_id=core_id,
+            seed=seed,
+        )
+        specs.append(
+            CoreSpec(
+                generator=generator,
+                request_budget=requests_per_core,
+                mean_gap_instructions=1000.0 / profile.apki,
+            )
+        )
+    # Unassigned trailing cores stay idle, mirroring how a real machine runs
+    # fewer processes than cores.
+    for _ in range(config.cores.num_cores - len(plan)):
+        specs.append(CoreSpec(generator=None, request_budget=None))
     return specs
 
 
@@ -124,12 +245,71 @@ def warm_up_tracker(
     if activations <= 0:
         return 0
     mapper = AddressMapper(config.dram)
-    generator = attack_by_name(attack, config.dram, mapper, seed=seed ^ 0xA77ACF)
+    generator = attack_by_name(
+        attack, config.dram, mapper, seed=seed ^ _ATTACK_SEED_SALT
+    )
+    return _replay_warmup(tracker, [generator], mapper, config, activations)
+
+
+def warm_up_tracker_from_plan(
+    tracker: RowHammerTracker,
+    plan: tuple[CoreAssignment, ...],
+    config: SystemConfig,
+    activations: int,
+    seed: int,
+) -> int:
+    """Plan-aware variant of :func:`warm_up_tracker`.
+
+    The activation streams of every attacker core in the plan are interleaved
+    in proportion to their hammer rates (weighted round-robin), approximating
+    how the kernels share DRAM bandwidth during the (untimed) warm-up phase.
+    With a single full-rate attacker on core 0 this replays exactly the
+    classic warm-up stream.
+    """
+    attacker_cores = [
+        (core_id, assignment)
+        for core_id, assignment in enumerate(plan)
+        if assignment.is_attacker
+    ]
+    if activations <= 0 or not attacker_cores:
+        return 0
+    mapper = AddressMapper(config.dram)
+    generators = [
+        attack_by_name(
+            assignment.name,
+            config.dram,
+            mapper,
+            seed=_attacker_seed(seed, core_id),
+        )
+        for core_id, assignment in attacker_cores
+    ]
+    rates = [assignment.hammer_rate for _, assignment in attacker_cores]
+    return _replay_warmup(tracker, generators, mapper, config, activations, rates)
+
+
+def _replay_warmup(
+    tracker: RowHammerTracker,
+    generators: list,
+    mapper: AddressMapper,
+    config: SystemConfig,
+    activations: int,
+    rates: list[float] | None = None,
+) -> int:
+    # Deterministic weighted round-robin: each generator accrues credit at
+    # its rate and the highest-credit generator (lowest index on ties)
+    # supplies the next activation, so a rate-0.25 attacker contributes a
+    # quarter as many warm-up activations as a full-rate one.
+    rates = [1.0] * len(generators) if rates is None else rates
+    credits = [0.0] * len(generators)
     step_ns = config.timings.trrd_s_ns
     now_ns = 0.0
     performed = 0
     for _ in range(activations):
-        entry = generator.next_entry()
+        for which, rate in enumerate(rates):
+            credits[which] += rate
+        chosen = max(range(len(credits)), key=lambda which: credits[which])
+        credits[chosen] -= 1.0
+        entry = generators[chosen].next_entry()
         decoded = mapper.decode(entry.address)
         response = tracker.on_activation(decoded.row_address, now_ns)
         now_ns += step_ns
@@ -153,14 +333,31 @@ def run_workload(
     enable_auditor: bool = False,
     attack_warmup_activations: int = 0,
     llc_warmup_accesses: int = 25_000,
+    core_plan: tuple[CoreAssignment, ...] | None = None,
 ) -> SimulationResult:
-    """Run one scenario and return its :class:`SimulationResult`."""
+    """Run one scenario and return its :class:`SimulationResult`.
+
+    ``core_plan`` replaces the classic homogeneous-workload-plus-optional-
+    attacker layout with an explicit per-core layout (``attack`` must then be
+    ``None``; ``workload`` is ignored).
+    """
     config = config or baseline_config()
     seed = config.seed if seed is None else seed
-    profile = _resolve_workload(workload)
-    specs = build_core_specs(config, profile, attack, requests_per_core, seed)
+    if core_plan is not None:
+        if attack is not None:
+            raise ValueError("core_plan and attack are mutually exclusive")
+        specs = build_core_specs_from_plan(
+            config, core_plan, requests_per_core, seed
+        )
+    else:
+        profile = _resolve_workload(workload)
+        specs = build_core_specs(config, profile, attack, requests_per_core, seed)
     tracker_obj = create_tracker(tracker, config) if isinstance(tracker, str) else tracker
-    if attack is not None and attack_warmup_activations > 0:
+    if core_plan is not None and attack_warmup_activations > 0:
+        warm_up_tracker_from_plan(
+            tracker_obj, core_plan, config, attack_warmup_activations, seed
+        )
+    elif attack is not None and attack_warmup_activations > 0:
         warm_up_tracker(tracker_obj, attack, config, attack_warmup_activations, seed)
     simulator = Simulator(
         config,

@@ -61,3 +61,23 @@ def benign_normalized_performance(result, baseline) -> float:
     test_ipcs = [result.ipc_of(core_id) for core_id in measured_ids]
     base_ipcs = [baseline.ipc_of(core_id) for core_id in measured_ids]
     return normalized_performance(test_ipcs, base_ipcs)
+
+
+def matched_benign_normalized_performance(result, baseline) -> float:
+    """Normalized performance over the benign cores present in *both* runs.
+
+    Heterogeneous core plans may put attackers on any subset of cores (and
+    their baselines replace those cores with idle ones), so instead of the
+    fixed exclude-core-0 rule the comparable set is computed per scenario:
+    cores that are benign in the measured run and also produced a result in
+    the baseline.
+    """
+    baseline_ids = {res.core_id for res in baseline.benign_results()}
+    measured_ids = sorted(
+        res.core_id
+        for res in result.benign_results()
+        if res.core_id in baseline_ids
+    )
+    test_ipcs = [result.ipc_of(core_id) for core_id in measured_ids]
+    base_ipcs = [baseline.ipc_of(core_id) for core_id in measured_ids]
+    return normalized_performance(test_ipcs, base_ipcs)

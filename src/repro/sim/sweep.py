@@ -12,6 +12,14 @@ distributed and memoized:
     stable content hash over every simulation-affecting field, including the
     full system configuration and a code-version salt.
 
+:class:`CoreAssignment`
+    One core's role inside a heterogeneous scenario.  A tuple of assignments
+    (a *core plan*) attached to a :class:`ScenarioSpec` describes shapes the
+    classic single-attacker layout cannot: several heterogeneous attacker
+    cores (each with its own hammer rate), mixed benign workload blends with
+    per-core intensity, and deliberately idle cores.  Plans flow through the
+    same cache/pool machinery as classic specs.
+
 :class:`SweepRunner`
     Executes batches of specs.  Within a batch, identical simulations
     (typically the shared insecure baselines) are simulated exactly once;
@@ -41,14 +49,89 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config import SystemConfig, baseline_config
-from repro.cpu.workloads import WorkloadProfile, get_workload
-from repro.sim.metrics import benign_normalized_performance
+from repro.cpu.workloads import WorkloadProfile, get_workload, scale_profile
+from repro.sim.metrics import (
+    benign_normalized_performance,
+    matched_benign_normalized_performance,
+)
 from repro.sim.simulator import SimulationResult
 
 #: Salt mixed into every scenario hash.  Bump whenever a change to the
 #: simulator alters results for unchanged configurations, so stale on-disk
 #: cache entries are never replayed as current results.
 CODE_VERSION = "dapper-sim-v1"
+
+
+@dataclass(frozen=True)
+class CoreAssignment:
+    """One core's role in a heterogeneous scenario.
+
+    ``role`` is one of:
+
+    ``"workload"``
+        The core runs a benign synthetic workload -- either a registered
+        ``name`` or an explicit ``profile`` -- whose memory intensity is
+        multiplied by ``intensity`` (0.5 = half the APKI, 2.0 = double).
+    ``"attack"``
+        The core runs the attack kernel ``name``.  ``hammer_rate`` in
+        ``(0, 1]`` scales the attacker's aggressiveness: 1.0 is the paper's
+        full-rate attacker, smaller values throttle both its issue rate and
+        its memory-level parallelism proportionally.
+    ``"idle"``
+        The core issues no memory traffic (used by plan baselines, where
+        attacker cores are replaced by idle cores).
+    """
+
+    role: str
+    name: str | None = None
+    profile: WorkloadProfile | None = None
+    intensity: float = 1.0
+    hammer_rate: float = 1.0
+
+    def __post_init__(self):
+        if self.role not in ("workload", "attack", "idle"):
+            raise ValueError(
+                f"unknown core role {self.role!r}; "
+                "expected 'workload', 'attack' or 'idle'"
+            )
+        if self.role == "workload":
+            if self.name is None and self.profile is None:
+                raise ValueError("workload assignment needs a name or a profile")
+            if not self.intensity > 0:
+                raise ValueError(f"intensity must be positive, got {self.intensity}")
+        if self.role == "attack":
+            if not self.name:
+                raise ValueError("attack assignment needs an attack name")
+            if not 0 < self.hammer_rate <= 1.0:
+                raise ValueError(
+                    f"hammer_rate must be in (0, 1], got {self.hammer_rate}"
+                )
+        if self.role == "idle" and (self.name or self.profile is not None):
+            raise ValueError("idle assignment takes no workload or attack")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_attacker(self) -> bool:
+        return self.role == "attack"
+
+    def resolved_profile(self) -> WorkloadProfile:
+        """The benign profile this assignment runs (intensity applied)."""
+        if self.role != "workload":
+            raise ValueError(f"{self.role!r} assignment has no workload profile")
+        profile = self.profile if self.profile is not None else get_workload(self.name)
+        return scale_profile(profile, self.intensity)
+
+    def label(self) -> str:
+        """Compact human-readable form used by reports and ``describe()``."""
+        if self.role == "idle":
+            return "idle"
+        if self.role == "attack":
+            suffix = "" if self.hammer_rate == 1.0 else f"@r{self.hammer_rate:g}"
+            return f"attack:{self.name}{suffix}"
+        name = self.name if self.name is not None else self.profile.name
+        suffix = "" if self.intensity == 1.0 else f"@x{self.intensity:g}"
+        return f"{name}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -61,6 +144,13 @@ class ScenarioSpec:
     ``attack_matched_baseline`` selects which insecure baseline the scenario
     is normalised against (see :meth:`baseline_spec`); it does not affect the
     measured simulation itself and is therefore not part of the cache key.
+
+    ``core_plan`` switches the scenario from the classic layout (core 0 runs
+    ``attack`` when set, every other core a homogeneous copy of ``workload``)
+    to an explicit per-core layout: one :class:`CoreAssignment` per core,
+    which is how multi-attacker and mixed-workload scenarios are expressed.
+    When a plan is present ``attack`` must be ``None`` and ``workload`` only
+    labels the scenario in reports.
     """
 
     tracker: str
@@ -73,12 +163,28 @@ class ScenarioSpec:
     llc_warmup_accesses: int = 25_000
     enable_auditor: bool = False
     config: SystemConfig | None = None
+    core_plan: tuple[CoreAssignment, ...] | None = None
 
     def __post_init__(self):
+        if self.core_plan is not None:
+            if self.attack is not None:
+                raise ValueError(
+                    "core_plan and attack are mutually exclusive; put the "
+                    "attacker(s) into the plan instead"
+                )
+            object.__setattr__(self, "core_plan", tuple(self.core_plan))
+            if not any(a.role == "workload" for a in self.core_plan):
+                raise ValueError("core_plan needs at least one workload core")
         # Warm-up only applies to attack scenarios; canonicalise so benign
         # specs that differ only in the (unused) warm-up cap hash identically.
-        if self.attack is None and self.attack_warmup_activations != 0:
+        if not self.has_attacker and self.attack_warmup_activations != 0:
             object.__setattr__(self, "attack_warmup_activations", 0)
+
+    @property
+    def has_attacker(self) -> bool:
+        if self.core_plan is not None:
+            return any(a.is_attacker for a in self.core_plan)
+        return self.attack is not None
 
     # ------------------------------------------------------------------ #
 
@@ -95,6 +201,10 @@ class ScenarioSpec:
 
     @property
     def workload_name(self) -> str:
+        # For core-plan scenarios the workload field is a report label that
+        # need not name a registered workload (e.g. an ad-hoc profile's name).
+        if self.core_plan is not None and isinstance(self.workload, str):
+            return self.workload
         return self.resolved_workload().name
 
     def baseline_spec(self) -> "ScenarioSpec":
@@ -102,8 +212,17 @@ class ScenarioSpec:
 
         No mitigation and -- unless ``attack_matched_baseline`` -- no
         attacker.  Baselines are measured without tracker warm-up (there is no
-        tracker to warm) and never carry the security auditor.
+        tracker to warm) and never carry the security auditor.  For core-plan
+        scenarios the attacker cores are replaced by idle cores, so the
+        remaining benign cores stay on the same core ids and are compared
+        like-for-like.
         """
+        baseline_plan = self.core_plan
+        if baseline_plan is not None and not self.attack_matched_baseline:
+            baseline_plan = tuple(
+                CoreAssignment(role="idle") if assignment.is_attacker else assignment
+                for assignment in baseline_plan
+            )
         return dataclasses.replace(
             self,
             tracker="none",
@@ -111,16 +230,20 @@ class ScenarioSpec:
             attack_matched_baseline=False,
             attack_warmup_activations=0,
             enable_auditor=False,
+            core_plan=baseline_plan,
         )
 
     # ------------------------------------------------------------------ #
 
     def cache_key(self) -> str:
-        """Stable content hash over every simulation-affecting field."""
+        """Stable content hash over every simulation-affecting field.
+
+        Classic (plan-less) specs hash exactly as before the core-plan
+        extension existed, so their on-disk cache entries stay valid.
+        """
         payload = {
             "code_version": CODE_VERSION,
             "tracker": self.tracker,
-            "workload": dataclasses.asdict(self.resolved_workload()),
             "attack": self.attack,
             "seed": self.resolved_seed(),
             "requests_per_core": self.requests_per_core,
@@ -129,12 +252,48 @@ class ScenarioSpec:
             "enable_auditor": self.enable_auditor,
             "config": dataclasses.asdict(self.resolved_config()),
         }
+        if self.core_plan is None:
+            payload["workload"] = dataclasses.asdict(self.resolved_workload())
+        else:
+            # The plan fully determines the simulation; the workload field is
+            # a report-only label, so two identical plans with different
+            # labels must share a cache entry.
+            payload["core_plan"] = [
+                # Hash assignments by their *resolved* contents so a named
+                # workload and an identical ad-hoc profile share entries,
+                # mirroring how the top-level workload field hashes.
+                {
+                    "role": a.role,
+                    "attack": a.name if a.is_attacker else None,
+                    "profile": (
+                        dataclasses.asdict(a.resolved_profile())
+                        if a.role == "workload"
+                        else None
+                    ),
+                    "hammer_rate": a.hammer_rate if a.is_attacker else 1.0,
+                }
+                for a in self.core_plan
+            ]
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def normalized_against(
+        self, result: SimulationResult, baseline: SimulationResult
+    ) -> float:
+        """The paper's normalized-performance metric for this scenario shape.
+
+        Classic specs use the fixed layout rule (core 0 is the attacker slot
+        and is excluded everywhere); core-plan specs compare the benign core
+        ids present in both runs, because attackers may sit on any subset of
+        cores.
+        """
+        if self.core_plan is None:
+            return benign_normalized_performance(result, baseline)
+        return matched_benign_normalized_performance(result, baseline)
+
     def describe(self) -> dict:
         """Human-readable identity of the scenario (for reports and logs)."""
-        return {
+        description = {
             "tracker": self.tracker,
             "workload": self.workload_name,
             "attack": self.attack,
@@ -143,6 +302,9 @@ class ScenarioSpec:
             "attack_matched_baseline": self.attack_matched_baseline,
             "nrh": self.resolved_config().rowhammer.nrh,
         }
+        if self.core_plan is not None:
+            description["cores"] = [a.label() for a in self.core_plan]
+        return description
 
 
 def _execute_spec(spec: ScenarioSpec) -> dict:
@@ -157,13 +319,17 @@ def _execute_spec(spec: ScenarioSpec) -> dict:
     result = run_workload(
         config=spec.resolved_config(),
         tracker=spec.tracker,
-        workload=spec.resolved_workload(),
+        # Plan specs carry the workload only as a report label; resolving it
+        # against the registry would reject ad-hoc profile names.
+        workload=spec.workload if spec.core_plan is not None
+        else spec.resolved_workload(),
         attack=spec.attack,
         requests_per_core=spec.requests_per_core,
         seed=spec.resolved_seed(),
         enable_auditor=spec.enable_auditor,
         attack_warmup_activations=spec.attack_warmup_activations,
         llc_warmup_accesses=spec.llc_warmup_accesses,
+        core_plan=spec.core_plan,
     )
     return result.to_dict()
 
@@ -357,7 +523,7 @@ class SweepRunner:
             outcomes.append(
                 SweepOutcome(
                     spec=spec,
-                    normalized=benign_normalized_performance(result, baseline),
+                    normalized=spec.normalized_against(result, baseline),
                     result=result,
                     baseline=baseline,
                     from_cache=measured_key in cached_keys,

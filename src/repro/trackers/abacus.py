@@ -13,6 +13,12 @@ the summary.  The paper's Perf-Attack streams over distinct row identifiers
 across banks, pushing the spillover counter to the mitigation threshold, which
 forces ABACUS to refresh every row of the channel and reset -- a blackout of
 roughly two milliseconds that the attack can retrigger continuously.
+
+Paper context: one of the four scalable trackers the motivation section
+(Section III, Figure 2) attacks; its tailored Perf-Attack is the
+``id-streaming`` kernel.  Key parameters: summary entries per channel (sized
+from NRH and the refresh window), the per-entry per-bank bit-vectors, and
+the spillover mitigation threshold.
 """
 
 from __future__ import annotations

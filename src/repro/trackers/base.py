@@ -12,6 +12,11 @@ The memory controller calls into the tracker at two points:
 
 Every tracker also reports its storage cost (:class:`StorageReport`) so the
 Table III comparison can be regenerated from the implementations themselves.
+
+Paper context: this interface realises the controller/tracker interaction of
+the paper's evaluation methodology (Section IV); the response vocabulary
+(mitigations, group mitigations, counter traffic, blackouts) covers every
+mechanism the Perf-Attacks of Section III exploit.
 """
 
 from __future__ import annotations

@@ -9,6 +9,10 @@ At ultra-low thresholds the blacklisting threshold shrinks to the point where
 benign rows -- both genuinely warm rows and rows aliased with them in the
 Bloom filter -- get throttled, which is the large benign slowdown the paper's
 Figure 14 reports (25% at NRH=500, 66% at NRH=125).
+
+Paper context: the throttling-based comparison point of Section VI-I.  Key
+parameters: the per-bank counting-Bloom-filter geometry and the blacklisting
+threshold derived from NRH and the refresh window.
 """
 
 from __future__ import annotations

@@ -8,6 +8,11 @@ sketch cannot be selectively reset).  When the RAT cannot capture the working
 set of aggressors -- which the tailored Perf-Attack ensures by hammering more
 rows than the RAT holds -- CoMeT falls back to resetting its structures by
 refreshing every DRAM row of the rank, blocking it for milliseconds.
+
+Paper context: one of the four scalable trackers attacked in Section III
+(Figure 2); its tailored Perf-Attack is the ``rat-thrash`` kernel.  Key
+parameters: 4 hash functions x 512 counters per bank, mitigation threshold
+NRH/4, 128-entry RAT, 25% RAT-miss reset trigger.
 """
 
 from __future__ import annotations

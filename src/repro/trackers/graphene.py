@@ -15,6 +15,10 @@ here as the "ideal tracking" baseline: it is immune to the Perf-Attacks of
 Section III because it never touches DRAM for counters and never performs
 bulk structure-reset refreshes, but Table III-style storage reports show why
 it does not scale.
+
+Paper context: related work (Section VII) and the Table III storage
+comparison.  Key parameters: the per-bank summary entry count and table
+threshold, both derived from NRH and the refresh window.
 """
 
 from __future__ import annotations

@@ -8,6 +8,11 @@ Counter Cache (RCC, 4K entries per rank, 32-way, random eviction) caches the
 hot ones inside the memory controller.  An RCC miss costs one DRAM read (fetch
 the counter) plus one DRAM write (write back the evicted counter) -- exactly
 the traffic the paper's Perf-Attack amplifies by forcing RCC set conflicts.
+
+Paper context: one of the four scalable trackers attacked in Section III
+(Figure 2); its tailored Perf-Attack is the ``rcc-conflict`` kernel.  Key
+parameters: 128-row groups, the 80% group-to-per-row promotion threshold,
+and the 4K-entry 32-way RCC per rank.
 """
 
 from __future__ import annotations

@@ -13,6 +13,10 @@ depends on receiving at least one mitigation opportunity every
 ``NRH * PACE_FRACTION`` activations; at ultra-low thresholds that pacing --
 and especially its Same-Bank RFM variant -- costs DRAM bandwidth, which is the
 comparison the extended probabilistic benchmarks regenerate.
+
+Paper context: related work (Section VII, reference [49]); evaluated here
+alongside the Section VI-J probabilistic comparisons.  Key parameters: the
+mitigation-window pace (``NRH * PACE_FRACTION``) and the RFM command flavour.
 """
 
 from __future__ import annotations

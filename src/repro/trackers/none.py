@@ -1,6 +1,9 @@
 """The insecure baseline: no RowHammer mitigation at all.
 
-Every performance figure in the paper is normalised against this baseline.
+Every performance figure in the paper is normalised against this baseline
+(Section IV's evaluation methodology; see EXPERIMENTS.md for the distinction
+between the no-attack and attack-matched baselines).  It has no parameters
+and zero storage.
 """
 
 from __future__ import annotations

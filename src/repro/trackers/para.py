@@ -5,6 +5,9 @@ activated row with a small probability ``p``.  To remain secure as the
 RowHammer threshold drops, ``p`` must grow roughly as ``1/NRH``, which is why
 its overhead rises sharply at ultra-low thresholds (and further when the
 mitigation uses the heavyweight DRFMsb command).
+
+Paper context: probabilistic comparison point of Section VI-J (Figures 15
+and 16).  Key parameter: the refresh probability ``p``, derived from NRH.
 """
 
 from __future__ import annotations

@@ -7,6 +7,10 @@ threshold; in exchange, tracking is exact and Perf-Attacks gain little.  The
 mitigation path follows the QPRAC formulation: when a row's counter crosses
 the back-off threshold the DRAM raises an alert and the controller services
 the mitigation during a refresh-management opportunity.
+
+Paper context: the in-DRAM exact-counting comparison point of Section VI-K
+(Figure 17).  Key parameters: the per-activation counter-update latency
+added to the row cycle and the alert back-off threshold.
 """
 
 from __future__ import annotations

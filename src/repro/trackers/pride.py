@@ -6,6 +6,10 @@ mitigation opportunities each bank needs per refresh window scales inversely
 with the RowHammer threshold, so -- like PARA -- PrIDE becomes expensive at
 ultra-low thresholds, and more so when the mitigation command blocks several
 banks (RFMsb).
+
+Paper context: probabilistic comparison point of Section VI-J (Figures 15
+and 16).  Key parameters: the per-bank sampling FIFO depth and the
+RFM-opportunity pacing derived from NRH.
 """
 
 from __future__ import annotations

@@ -7,6 +7,12 @@ counters spill to a reserved DRAM region and the LLC region acts as a counter
 cache.  START therefore hurts co-running applications in two ways that the
 Perf-Attack amplifies: the LLC capacity available to data is halved, and every
 counter-cache miss costs a DRAM read plus a write-back.
+
+Paper context: one of the four scalable trackers attacked in Section III
+(Figure 2); its tailored Perf-Attack is the ``counter-streaming`` kernel (a
+64-row-stride variant of row streaming, so every activation touches a fresh
+counter line).  Key parameters: the reserved LLC fraction (one half) and the
+counter-slot-per-row geometry.
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@
   counter-cache behaviour of START's reserved LLC region.
 
 All structures are deterministic: hash seeds are passed in explicitly.
+Per-tracker sizing (entry counts, thresholds) lives with each tracker module,
+which states its paper section and key parameters.
 """
 
 from __future__ import annotations

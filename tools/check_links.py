@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only, used by CI).
+
+Scans the given markdown files/directories for inline links and image
+references, and verifies that every *relative* target exists on disk
+(anchors are stripped; external http(s)/mailto links are not fetched).
+
+Usage:  python tools/check_links.py README.md docs benchmarks/README.md
+Exit codes: 0 = all links resolve, 1 = broken links found, 2 = bad usage.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) / ![alt](target).  Reference-style
+#: definitions ("[id]: target") are rare in this repo and intentionally out
+#: of scope.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository and are not checked.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md" and path.exists():
+            files.append(path)
+        else:
+            print(f"check_links: no such markdown file or directory: {path}")
+            raise SystemExit(2)
+    return files
+
+
+def broken_links(markdown: Path) -> list[tuple[int, str]]:
+    broken: list[tuple[int, str]] = []
+    text = markdown.read_text(encoding="utf-8")
+    # Fenced code blocks regularly contain [x](y)-shaped text that is not a
+    # link; skip them.
+    in_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (markdown.parent / relative).exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(arguments: list[str]) -> int:
+    if not arguments:
+        print(__doc__.strip())
+        return 2
+    files = iter_markdown_files(arguments)
+    failures = 0
+    for markdown in files:
+        for line_number, target in broken_links(markdown):
+            print(f"{markdown}:{line_number}: broken link -> {target}")
+            failures += 1
+    print(
+        f"check_links: {len(files)} file(s) scanned, {failures} broken link(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
