@@ -31,6 +31,16 @@ without writing Python:
     Compile a YAML/JSON suite file through the catalog and execute it with
     the same caching/fan-out machinery as ``sweep`` (see docs/scenarios.md
     for the suite format).
+``python -m repro.cli campaign run <suite.yaml> --store warehouse.sqlite``
+    Run a suite as a named, resumable *campaign* against the experiment
+    warehouse: sharded into checkpointed batches with progress/ETA, safe to
+    kill at any point, and re-running executes only the missing scenarios.
+    ``campaign status/list/report/diff`` inspect, export and compare saved
+    campaigns (see docs/warehouse.md).
+``python -m repro.cli store query/export/import/gc``
+    Query and maintain the warehouse directly: filter/aggregate stored runs,
+    export CSV/JSON, import a legacy JSON cache directory, and delete
+    records from older simulator code versions.
 
 Running sweeps
 --------------
@@ -184,7 +194,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_batch.add_argument(
         "--cache-dir",
         default=".sweep-cache",
-        help="on-disk result cache directory ('' disables caching)",
+        help="result store: JSON cache directory or .sqlite warehouse "
+        "('' disables caching)",
     )
     sweep_batch.add_argument(
         "-o",
@@ -227,7 +238,8 @@ def _build_parser() -> argparse.ArgumentParser:
     scenarios_run.add_argument(
         "--cache-dir",
         default=".sweep-cache",
-        help="on-disk result cache directory ('' disables caching)",
+        help="result store: JSON cache directory or .sqlite warehouse "
+        "('' disables caching)",
     )
     scenarios_run.add_argument(
         "-o",
@@ -239,6 +251,156 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="only compile the suite and list its scenarios",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable, checkpointed execution of large scenario suites "
+        "against the experiment warehouse",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _store_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--store",
+            default="warehouse.sqlite",
+            help="experiment warehouse: a .sqlite/.db path or a JSON cache "
+            "directory (default warehouse.sqlite)",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run (or resume) a campaign from a YAML/JSON suite file"
+    )
+    campaign_run.add_argument("suite", help="path of the suite file")
+    campaign_run.add_argument(
+        "--name",
+        default=None,
+        help="campaign name (default: the suite's own name)",
+    )
+    _store_argument(campaign_run)
+    campaign_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan simulations out over",
+    )
+    campaign_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="simulations per checkpointed shard",
+    )
+    campaign_run.add_argument(
+        "--force",
+        action="store_true",
+        help="replace the saved manifest when the scenario set changed",
+    )
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="completion state of a saved campaign"
+    )
+    campaign_status_p.add_argument("name", help="campaign name")
+    _store_argument(campaign_status_p)
+    campaign_list = campaign_sub.add_parser(
+        "list", help="list the campaigns saved in the warehouse"
+    )
+    _store_argument(campaign_list)
+    campaign_report_p = campaign_sub.add_parser(
+        "report", help="result table of a campaign (CSV/JSON export)"
+    )
+    campaign_report_p.add_argument("name", help="campaign name")
+    _store_argument(campaign_report_p)
+    campaign_report_p.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="output path ('-' prints an aligned table)",
+    )
+    campaign_report_p.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default=None,
+        help="export format (default: from the output suffix)",
+    )
+    campaign_diff = campaign_sub.add_parser(
+        "diff",
+        help="per-metric deltas between two campaigns (or code versions)",
+    )
+    campaign_diff.add_argument("name_a", help="first campaign name")
+    campaign_diff.add_argument("name_b", help="second campaign name")
+    _store_argument(campaign_diff)
+    campaign_diff.add_argument(
+        "--store-b",
+        default=None,
+        help="warehouse holding the second campaign (default: --store)",
+    )
+    campaign_diff.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="JSON diff output path ('-' prints a summary table)",
+    )
+
+    store_parser = sub.add_parser(
+        "store", help="query, export and maintain the experiment warehouse"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    def _filter_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--tracker", default=None)
+        parser.add_argument("--workload", default=None)
+        parser.add_argument("--attack", default=None)
+        parser.add_argument("--nrh", type=int, default=None)
+        parser.add_argument(
+            "--code-version",
+            default=None,
+            help="filter by simulator code version",
+        )
+        parser.add_argument("--limit", type=int, default=None)
+
+    store_query = store_sub.add_parser(
+        "query", help="filter and aggregate stored runs"
+    )
+    _store_argument(store_query)
+    _filter_arguments(store_query)
+    store_query.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated columns to aggregate over "
+        "(e.g. tracker,workload)",
+    )
+    store_export = store_sub.add_parser(
+        "export", help="export stored runs as CSV or JSON"
+    )
+    _store_argument(store_export)
+    _filter_arguments(store_export)
+    store_export.add_argument("-o", "--output", required=True)
+    store_export.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default=None,
+        help="export format (default: from the output suffix)",
+    )
+    store_import = store_sub.add_parser(
+        "import",
+        help="import a cache directory (or another warehouse) into --store",
+    )
+    store_import.add_argument(
+        "source", help="JSON cache directory or .sqlite warehouse to import"
+    )
+    _store_argument(store_import)
+    store_import.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="replace records that already exist in the destination",
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="delete records left behind by other code versions"
+    )
+    _store_argument(store_gc)
+    store_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="only count the records that would be deleted",
     )
 
     sub.add_parser("list-attacks", help="list the available attack kernels")
@@ -567,6 +729,243 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _open_store(target: str):
+    from repro.store import open_store
+
+    store = open_store(target)
+    if store is None:
+        raise ValueError("an empty --store disables the warehouse")
+    return store
+
+
+def _print_campaign_progress(progress) -> None:
+    eta = (
+        f"eta {progress.eta_seconds:.0f}s"
+        if progress.eta_seconds is not None
+        else "eta n/a"
+    )
+    print(
+        f"[{progress.name}] batch {progress.batch}/{progress.batches}  "
+        f"{progress.simulations_done}/{progress.simulations_total} simulations "
+        f"({progress.percent:.0f}%)  executed {progress.executed}  "
+        f"elapsed {progress.elapsed_seconds:.1f}s  {eta}",
+        flush=True,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.scenarios import load_suite
+    from repro.store import (
+        Campaign,
+        campaign_report,
+        campaign_status,
+        diff_campaigns,
+        export_rows,
+    )
+
+    if args.campaign_command == "run":
+        try:
+            suite = load_suite(args.suite)
+            specs = suite.compile()
+            store = _open_store(args.store)
+            campaign = Campaign(
+                args.name or suite.name,
+                specs,
+                store,
+                jobs=args.jobs,
+                batch_size=args.batch_size,
+                source=str(args.suite),
+                description=suite.description,
+            )
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        try:
+            summary = campaign.run(
+                progress=_print_campaign_progress, force=args.force
+            )
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            print(
+                f"\ncampaign {campaign.name!r} interrupted -- completed "
+                "simulations are checkpointed; rerun the same command to "
+                "resume",
+                file=sys.stderr,
+            )
+            return 130
+        verb = "resumed" if summary.resumed else "ran"
+        print(
+            f"campaign {summary.name!r} {verb}: {summary.entries} scenarios, "
+            f"{summary.simulations_total} unique simulations "
+            f"({summary.already_stored} already stored, "
+            f"{summary.executed} executed) in {summary.elapsed_seconds:.1f}s"
+        )
+        return 0
+
+    if args.campaign_command == "status":
+        try:
+            status = campaign_status(_open_store(args.store), args.name)
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        print(f"campaign      : {status.name}")
+        print(f"created       : {status.created_at}")
+        print(f"code version  : {status.code_version} "
+              f"(current {status.current_code_version})")
+        print(f"source        : {status.source or '(none)'}")
+        print(f"scenarios     : {status.entries_complete}/{status.entries} complete")
+        print(f"simulations   : {status.simulations_stored}/"
+              f"{status.simulations_total} stored ({status.percent:.0f}%)")
+        print(f"state         : {'complete' if status.complete else 'resumable'}")
+        return 0
+
+    if args.campaign_command == "list":
+        try:
+            store = _open_store(args.store)
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        for name in store.campaign_names():
+            status = campaign_status(store, name)
+            print(
+                f"{name:<28} {status.entries_complete}/{status.entries} "
+                f"scenarios complete ({status.percent:.0f}%)"
+            )
+        return 0
+
+    if args.campaign_command == "report":
+        try:
+            report = campaign_report(_open_store(args.store), args.name)
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        if args.output == "-" and args.format is None:
+            print(format_table(report["rows"]))
+            if report["incomplete_entries"]:
+                print(
+                    f"note: {report['incomplete_entries']} scenario(s) not "
+                    "simulated yet (campaign run resumes them)"
+                )
+            return 0
+        export_rows(report["rows"], args.output, format=args.format)
+        if args.output != "-":
+            print(f"wrote {args.output} ({len(report['rows'])} rows)")
+        return 0
+
+    if args.campaign_command == "diff":
+        try:
+            store_a = _open_store(args.store)
+            store_b = (
+                _open_store(args.store_b) if args.store_b else store_a
+            )
+            diff = diff_campaigns(store_a, args.name_a, store_b, args.name_b)
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        if args.output != "-":
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(diff, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        rows = [
+            {
+                **row["scenario"],
+                "normalized_a": row["a"]["normalized_performance"],
+                "normalized_b": row["b"]["normalized_performance"],
+                "delta": row["delta"]["normalized_performance"],
+            }
+            for row in diff["rows"]
+        ]
+        print(format_table(rows))
+        print(
+            f"matched {diff['matched']} scenario(s); "
+            f"only in {args.name_a}: {len(diff['only_in_a'])}, "
+            f"only in {args.name_b}: {len(diff['only_in_b'])}; "
+            f"max |delta normalized|: {diff['max_abs_normalized_delta']:.6f}"
+        )
+        return 0
+
+    raise AssertionError(
+        f"unhandled campaign command {args.campaign_command}"
+    )  # pragma: no cover
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import (
+        aggregate_rows,
+        export_rows,
+        gc_store,
+        import_store,
+        open_store,
+        query_rows,
+    )
+
+    try:
+        store = _open_store(args.store)
+    except ValueError as error:
+        print(f"store: {error}", file=sys.stderr)
+        return 2
+
+    if args.store_command in ("query", "export"):
+        rows = query_rows(
+            store,
+            tracker=args.tracker,
+            workload=args.workload,
+            attack=args.attack,
+            nrh=args.nrh,
+            code_version=args.code_version,
+            limit=args.limit,
+        )
+        if args.store_command == "export":
+            export_rows(rows, args.output, format=args.format)
+            if args.output != "-":
+                print(f"wrote {args.output} ({len(rows)} rows)")
+            return 0
+        if args.group_by:
+            try:
+                rows = aggregate_rows(
+                    rows, [name.strip() for name in args.group_by.split(",")]
+                )
+            except ValueError as error:
+                print(f"store: {error}", file=sys.stderr)
+                return 2
+        print(format_table(rows))
+        return 0
+
+    if args.store_command == "import":
+        from pathlib import Path
+
+        # Validate before open_store: opening a typo'd .sqlite path would
+        # silently create a fresh empty warehouse there.
+        if not args.source or not Path(args.source).exists():
+            print(
+                f"store: import source {args.source!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        source = open_store(args.source)
+        imported, skipped = import_store(
+            store, source, overwrite=args.overwrite
+        )
+        print(
+            f"imported {imported} record(s) from {args.source} "
+            f"({skipped} already present)"
+        )
+        return 0
+
+    if args.store_command == "gc":
+        removed = gc_store(store, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"{verb} {removed} stale record(s)")
+        return 0
+
+    raise AssertionError(
+        f"unhandled store command {args.store_command}"
+    )  # pragma: no cover
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.list or args.number is None:
         for number in FIGURE_IDS:
@@ -642,6 +1041,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "scenarios":
         return _cmd_scenarios(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

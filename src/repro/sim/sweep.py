@@ -23,9 +23,12 @@ distributed and memoized:
 :class:`SweepRunner`
     Executes batches of specs.  Within a batch, identical simulations
     (typically the shared insecure baselines) are simulated exactly once;
-    completed results are memoized in memory and -- when ``cache_dir`` is
-    given -- in an on-disk JSON cache keyed by the scenario hash, so repeated
-    figure regeneration and repeated CLI invocations are served from cache.
+    completed results are memoized in memory and -- when ``cache_dir`` or
+    ``store`` is given -- persisted under the scenario hash through a
+    pluggable :mod:`repro.store` backend (a JSON cache directory, or the
+    SQLite experiment warehouse for a ``.sqlite`` / ``.db`` path), so
+    repeated figure regeneration and repeated CLI invocations are served
+    from cache.
     With ``jobs > 1`` pending simulations fan out over a
     :class:`~concurrent.futures.ProcessPoolExecutor`; results cross the
     process boundary through :meth:`SimulationResult.to_dict` /
@@ -43,10 +46,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from pathlib import Path
 
 from repro.config import SystemConfig, baseline_config
 from repro.cpu.workloads import WorkloadProfile, get_workload, scale_profile
@@ -334,59 +337,78 @@ def _execute_spec(spec: ScenarioSpec) -> dict:
     return result.to_dict()
 
 
-class ResultCache:
-    """On-disk JSON store for completed simulation results.
+def _execute_spec_timed(spec: ScenarioSpec) -> tuple[dict, float]:
+    """:func:`_execute_spec` plus the wall-clock cost of the simulation.
 
-    One file per scenario hash.  The cache is strictly an optimisation: a
-    missing, truncated, corrupted or schema-incompatible file is treated as a
-    miss (the scenario is simply re-simulated), never as an error.
+    The timing is recorded next to the result in the warehouse so campaigns
+    can report per-run cost and estimate remaining work.
+    """
+    started = time.perf_counter()
+    payload = _execute_spec(spec)
+    return payload, time.perf_counter() - started
+
+
+class ResultCache:
+    """Persistent memo of completed simulation results, behind a store backend.
+
+    The cache is strictly an optimisation: a missing, truncated, corrupted or
+    schema-incompatible record is treated as a miss (the scenario is simply
+    re-simulated), never as an error.  Persistence is delegated to a
+    :class:`repro.store.backend.ResultStore`: ``cache_dir`` may be a JSON
+    cache directory (the original layout), a ``.sqlite`` / ``.db`` path
+    opening the experiment warehouse, or an already-constructed backend (via
+    ``store=``); ``None`` disables persistence entirely.
     """
 
-    def __init__(self, cache_dir: str | os.PathLike | None):
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+    def __init__(
+        self,
+        cache_dir: "str | os.PathLike | None" = None,
+        store=None,
+    ):
+        from repro.store.backend import open_store
+
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either cache_dir or store, not both")
+        self.backend = store if store is not None else open_store(cache_dir)
+        #: Legacy attribute: the directory behind a JSON-dir cache (``None``
+        #: for other backends).
+        self.cache_dir = getattr(self.backend, "root", None)
 
     @property
     def enabled(self) -> bool:
-        return self.cache_dir is not None
-
-    def _path(self, key: str) -> Path:
-        return self.cache_dir / f"{key}.json"
+        return self.backend is not None
 
     def load(self, key: str) -> SimulationResult | None:
         if not self.enabled:
             return None
+        record = self.backend.get(key)
+        if record is None or record.code_version != CODE_VERSION:
+            return None
         try:
-            with open(self._path(key), encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if payload.get("code_version") != CODE_VERSION:
-                return None
-            return SimulationResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            return SimulationResult.from_dict(record.result)
+        except (ValueError, KeyError, TypeError):
             return None
 
-    def store(self, key: str, spec: ScenarioSpec, result: SimulationResult) -> None:
+    def store(
+        self,
+        key: str,
+        spec: ScenarioSpec,
+        result: SimulationResult,
+        elapsed_seconds: float | None = None,
+    ) -> None:
         if not self.enabled:
             return
-        payload = {
-            "code_version": CODE_VERSION,
-            "scenario": spec.describe(),
-            "result": result.to_dict(),
-        }
-        # Write-then-rename so a crashed or concurrent writer can never leave
-        # a half-written file behind under the final name.
-        tmp_path = self._path(key).with_suffix(f".tmp.{os.getpid()}")
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_path, self._path(key))
-        except OSError:
-            # An unwritable or full cache directory degrades to a cache-less
-            # sweep; simulation results already in memory are never lost.
-            try:
-                tmp_path.unlink(missing_ok=True)
-            except OSError:
-                pass
+        from repro.store.backend import RunRecord
+
+        self.backend.put(
+            RunRecord(
+                key=key,
+                code_version=CODE_VERSION,
+                scenario=spec.describe(),
+                result=result.to_dict(),
+                elapsed_seconds=elapsed_seconds,
+            )
+        )
 
 
 @dataclass
@@ -423,8 +445,9 @@ class SweepRunner:
         self,
         cache_dir: str | os.PathLike | None = None,
         jobs: int = 1,
+        store=None,
     ):
-        self.cache = ResultCache(cache_dir)
+        self.cache = ResultCache(cache_dir, store=store)
         self.jobs = max(1, int(jobs))
         self.stats = SweepStats()
         self._memory: dict[str, SimulationResult] = {}
@@ -445,26 +468,32 @@ class SweepRunner:
         if not items:
             return
         if self.jobs == 1 or len(items) == 1:
-            payloads = ((key, _execute_spec(spec)) for key, spec in items)
+            payloads = (
+                (key,) + _execute_spec_timed(spec) for key, spec in items
+            )
         else:
             payloads = self._pool_payloads(items)
-        for key, payload in payloads:
+        for key, payload, elapsed in payloads:
             # Round-trip through the serialized form on every path so serial,
             # parallel and cache-replayed sweeps see byte-identical results.
             result = SimulationResult.from_dict(payload)
             self._memory[key] = result
-            self.cache.store(key, pending[key], result)
+            self.cache.store(key, pending[key], result, elapsed_seconds=elapsed)
 
     def _pool_payloads(
         self, items: list[tuple[str, ScenarioSpec]]
-    ) -> Iterable[tuple[str, dict]]:
+    ) -> Iterable[tuple[str, dict, float]]:
+        # Never spawn more workers than there is pending work: tiny batches
+        # would otherwise pay the fork cost of idle processes.
         workers = min(self.jobs, len(items))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_execute_spec, spec): key for key, spec in items
+                pool.submit(_execute_spec_timed, spec): key
+                for key, spec in items
             }
             for future in as_completed(futures):
-                yield futures[future], future.result()
+                payload, elapsed = future.result()
+                yield futures[future], payload, elapsed
 
     # ------------------------------------------------------------------ #
 
@@ -479,6 +508,32 @@ class SweepRunner:
         self.stats.cache_misses += 1
         self._execute_pending({key: spec})
         return self._memory[key]
+
+    def ensure(self, specs: Sequence[ScenarioSpec]) -> int:
+        """Execute (or replay) a batch of scenarios without normalisation.
+
+        Like :meth:`simulate` for many specs at once: missing simulations
+        fan out over the worker pool together, already-stored ones are
+        cheap membership checks.  Returns how many simulations actually
+        executed.  This is the campaign orchestrator's shard primitive --
+        campaigns pre-expand baselines into their work plan, so no baseline
+        resolution happens here.
+        """
+        pending: dict[str, ScenarioSpec] = {}
+        seen: set[str] = set()
+        for spec in specs:
+            key = spec.cache_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            self.stats.simulations += 1
+            if self._lookup(key) is not None:
+                self.stats.cache_hits += 1
+            else:
+                pending[key] = spec
+        self.stats.cache_misses += len(pending)
+        self._execute_pending(pending)
+        return len(pending)
 
     def run(self, specs: Sequence[ScenarioSpec]) -> list[SweepOutcome]:
         """Execute a batch of scenarios and normalise each against its baseline.

@@ -1,0 +1,72 @@
+"""The experiment warehouse: persistent, queryable storage of simulation runs.
+
+``repro.store`` turns the sweep engine's per-run memoization into a real
+subsystem with three layers:
+
+* :mod:`repro.store.backend` -- pluggable persistence behind one
+  :class:`ResultStore` interface: the legacy one-JSON-file-per-key cache
+  directory (:class:`JsonDirStore`) and the SQLite *warehouse*
+  (:class:`SqliteStore`: WAL mode, schema-versioned with migrations, indexed
+  scenario columns, per-run timing).
+* :mod:`repro.store.campaign` -- resumable campaign orchestration: shard a
+  huge scenario batch, checkpoint every completed run, resume with zero
+  re-execution, report and diff finished campaigns.
+* :mod:`repro.store.query` -- the read side: filter/aggregate stored runs,
+  export CSV/JSON, import legacy cache directories, garbage-collect stale
+  code versions.
+
+Every existing entry point (``SweepRunner``, figures, tables, suites, the
+CLI) reaches the warehouse through the unchanged ``cache_dir`` contract: a
+directory path keeps the JSON layout, a ``.sqlite`` / ``.db`` path opens the
+warehouse.
+"""
+
+from repro.store.backend import (
+    SCHEMA_VERSION,
+    JsonDirStore,
+    ResultStore,
+    RunRecord,
+    SqliteStore,
+    open_store,
+)
+from repro.store.campaign import (
+    Campaign,
+    CampaignProgress,
+    CampaignRunSummary,
+    CampaignStatus,
+    build_manifest,
+    campaign_report,
+    campaign_status,
+    diff_campaigns,
+)
+from repro.store.query import (
+    aggregate_rows,
+    export_rows,
+    flatten_record,
+    gc_store,
+    import_store,
+    query_rows,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonDirStore",
+    "ResultStore",
+    "RunRecord",
+    "SqliteStore",
+    "open_store",
+    "Campaign",
+    "CampaignProgress",
+    "CampaignRunSummary",
+    "CampaignStatus",
+    "build_manifest",
+    "campaign_report",
+    "campaign_status",
+    "diff_campaigns",
+    "aggregate_rows",
+    "export_rows",
+    "flatten_record",
+    "gc_store",
+    "import_store",
+    "query_rows",
+]

@@ -1,0 +1,691 @@
+"""Experiment warehouse backends: where completed simulation runs live.
+
+The sweep engine (:mod:`repro.sim.sweep`) memoizes every completed
+:class:`~repro.sim.simulator.SimulationResult` under a stable content hash of
+the scenario.  This module owns the *persistence* of those records behind one
+small interface, :class:`ResultStore`, with two interchangeable backends:
+
+:class:`JsonDirStore`
+    The original zero-dependency layout: one ``<key>.json`` file per run in a
+    flat directory.  Files are written atomically (temp file + ``os.replace``)
+    so a killed worker can never leave a truncated entry under the final name,
+    and any unreadable file is treated as a miss, never an error.
+
+:class:`SqliteStore`
+    The *experiment warehouse*: a single SQLite database (stdlib ``sqlite3``,
+    WAL journal, busy-timeout retries) holding one row per run with the
+    scenario's identifying fields (tracker / workload / attack / NRH / seed)
+    broken out into indexed columns, plus the code version, per-run wall-clock
+    timing, and a campaign-manifest table.  This is what makes thousands of
+    runs queryable, aggregatable, diffable and resumable
+    (:mod:`repro.store.campaign`, :mod:`repro.store.query`).
+
+The schema is versioned (``PRAGMA user_version``) and migrated in place;
+opening a database written by a newer schema than this code understands is an
+error rather than silent corruption.  :func:`open_store` picks the backend
+from the target's form: a ``.sqlite`` / ``.sqlite3`` / ``.db`` path opens the
+warehouse, anything else a JSON directory -- which is how the existing
+``--cache-dir`` flags gained warehouse support without changing any caller.
+
+Both backends share one durability contract: :meth:`ResultStore.put` degrades
+to a no-op on storage failure (full disk, locked database) instead of
+raising, because losing a cache write must never lose the in-memory
+simulation result it mirrors.  Campaign-manifest writes, by contrast, *do*
+raise: a campaign that cannot checkpoint is not resumable and must say so.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Current on-disk schema of :class:`SqliteStore` (``PRAGMA user_version``).
+SCHEMA_VERSION = 2
+
+#: Path suffixes that select the SQLite warehouse backend in :func:`open_store`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Scenario-description keys broken out into indexed warehouse columns.
+SCENARIO_COLUMNS = ("tracker", "workload", "attack", "nrh", "seed")
+
+
+def utc_now() -> str:
+    """Current UTC time in ISO-8601 form (the warehouse timestamp format)."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One completed simulation run, as the warehouse stores it.
+
+    ``scenario`` is the spec's :meth:`~repro.sim.sweep.ScenarioSpec.describe`
+    dictionary and ``result`` the serialized
+    :class:`~repro.sim.simulator.SimulationResult`; both are plain
+    JSON-compatible values.  ``elapsed_seconds`` is the wall-clock cost of the
+    simulation that produced the result (``None`` for records imported from
+    caches that predate timing capture).
+    """
+
+    key: str
+    code_version: str
+    scenario: dict
+    result: dict
+    elapsed_seconds: float | None = None
+    created_at: str | None = None
+
+    def scenario_field(self, name: str):
+        """One identifying scenario field (``None`` when absent)."""
+        value = self.scenario.get(name)
+        # Core-plan scenarios have no single attack; classic benign runs
+        # store an explicit null.  Both surface as None.
+        return value
+
+
+class ResultStore(ABC):
+    """Persistence interface for completed runs and campaign manifests.
+
+    Implementations must be safe against concurrent writers in *separate*
+    processes each holding their own store instance (the process-pool and
+    multi-invocation reality); a single instance is not required to be
+    thread-safe.
+    """
+
+    # -- run records ---------------------------------------------------- #
+
+    @abstractmethod
+    def get(self, key: str) -> RunRecord | None:
+        """The record stored under ``key``, or ``None`` (missing/unreadable)."""
+
+    @abstractmethod
+    def put(self, record: RunRecord) -> None:
+        """Store (or replace) one record.  Must not raise on storage failure."""
+
+    @abstractmethod
+    def keys(self) -> set[str]:
+        """Keys of every stored record."""
+
+    @abstractmethod
+    def records(self) -> Iterator[RunRecord]:
+        """Iterate over every readable stored record."""
+
+    @abstractmethod
+    def delete(self, keys: Iterable[str]) -> int:
+        """Delete the given keys; returns how many existed."""
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def query(
+        self,
+        tracker: str | None = None,
+        workload: str | None = None,
+        attack: str | None = None,
+        nrh: int | None = None,
+        code_version: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Records matching every given scenario filter (``None`` = any).
+
+        The generic implementation scans :meth:`records`; the SQLite backend
+        overrides it with an indexed ``WHERE`` clause.
+        """
+        filters = {
+            "tracker": tracker,
+            "workload": workload,
+            "attack": attack,
+            "nrh": nrh,
+        }
+        matched: list[RunRecord] = []
+        for record in self.records():
+            if code_version is not None and record.code_version != code_version:
+                continue
+            if any(
+                wanted is not None and record.scenario_field(name) != wanted
+                for name, wanted in filters.items()
+            ):
+                continue
+            matched.append(record)
+            if limit is not None and len(matched) >= limit:
+                break
+        return matched
+
+    def purge_other_code_versions(self, keep: str) -> int:
+        """Delete every record whose code version is not ``keep``."""
+        stale = [
+            record.key for record in self.records()
+            if record.code_version != keep
+        ]
+        return self.delete(stale)
+
+    def count_other_code_versions(self, keep: str) -> int:
+        """How many records :meth:`purge_other_code_versions` would delete.
+
+        The generic implementation scans; the SQLite backend answers from
+        the ``code_version`` index.
+        """
+        return sum(
+            1 for record in self.records() if record.code_version != keep
+        )
+
+    # -- campaign manifests --------------------------------------------- #
+
+    @abstractmethod
+    def save_campaign(self, name: str, manifest: dict) -> None:
+        """Persist a campaign manifest (raises on storage failure)."""
+
+    @abstractmethod
+    def load_campaign(self, name: str) -> dict | None:
+        """The manifest saved under ``name``, or ``None``."""
+
+    @abstractmethod
+    def campaign_names(self) -> tuple[str, ...]:
+        """Names of every saved campaign, sorted."""
+
+    @abstractmethod
+    def delete_campaign(self, name: str) -> bool:
+        """Delete one campaign manifest; returns whether it existed."""
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# JSON-directory backend (the legacy cache layout)
+# --------------------------------------------------------------------------- #
+
+
+class JsonDirStore(ResultStore):
+    """One ``<key>.json`` file per run; campaigns under ``campaigns/``.
+
+    This is byte-compatible with the cache directories written before the
+    warehouse existed: the payload keys ``code_version`` / ``scenario`` /
+    ``result`` are unchanged, records written by older code simply have no
+    ``elapsed_seconds`` / ``created_at``.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # -- run records ---------------------------------------------------- #
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> RunRecord | None:
+        return self._read(self._path(key), key)
+
+    def _read(self, path: Path, key: str) -> RunRecord | None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return RunRecord(
+                key=key,
+                code_version=payload["code_version"],
+                scenario=dict(payload.get("scenario") or {}),
+                result=payload["result"],
+                elapsed_seconds=payload.get("elapsed_seconds"),
+                created_at=payload.get("created_at"),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, record: RunRecord) -> None:
+        payload = {
+            "code_version": record.code_version,
+            "scenario": record.scenario,
+            "result": record.result,
+        }
+        if record.elapsed_seconds is not None:
+            payload["elapsed_seconds"] = record.elapsed_seconds
+        payload["created_at"] = record.created_at or utc_now()
+        # Write-then-rename so a crashed or concurrent writer can never leave
+        # a half-written file behind under the final name.
+        tmp_path = self._path(record.key).with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_path, self._path(record.key))
+        except (OSError, TypeError, ValueError):
+            # An unwritable or full store degrades to a cache-less sweep;
+            # simulation results already in memory are never lost.
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def keys(self) -> set[str]:
+        try:
+            return {path.stem for path in self.root.glob("*.json")}
+        except OSError:
+            return set()
+
+    def records(self) -> Iterator[RunRecord]:
+        for key in sorted(self.keys()):
+            record = self.get(key)
+            if record is not None:
+                yield record
+
+    def delete(self, keys: Iterable[str]) -> int:
+        deleted = 0
+        for key in keys:
+            try:
+                self._path(key).unlink()
+                deleted += 1
+            except OSError:
+                pass
+        return deleted
+
+    # -- campaign manifests --------------------------------------------- #
+
+    @property
+    def _campaign_dir(self) -> Path:
+        return self.root / "campaigns"
+
+    def _campaign_path(self, name: str) -> Path:
+        return self._campaign_dir / f"{name}.json"
+
+    def save_campaign(self, name: str, manifest: dict) -> None:
+        self._campaign_dir.mkdir(parents=True, exist_ok=True)
+        tmp_path = self._campaign_path(name).with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(tmp_path, self._campaign_path(name))
+
+    def load_campaign(self, name: str) -> dict | None:
+        try:
+            with open(self._campaign_path(name), encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            return manifest if isinstance(manifest, dict) else None
+        except (OSError, ValueError):
+            return None
+
+    def campaign_names(self) -> tuple[str, ...]:
+        try:
+            return tuple(
+                sorted(path.stem for path in self._campaign_dir.glob("*.json"))
+            )
+        except OSError:
+            return ()
+
+    def delete_campaign(self, name: str) -> bool:
+        try:
+            self._campaign_path(name).unlink()
+            return True
+        except OSError:
+            return False
+
+
+# --------------------------------------------------------------------------- #
+# SQLite warehouse backend
+# --------------------------------------------------------------------------- #
+
+#: The original (v1) warehouse schema, kept so migration from databases
+#: written by it stays covered by tests.  v1 stored only the opaque payload;
+#: v2 broke the identifying scenario fields out into indexed columns, added
+#: per-run timing, and introduced the campaign-manifest table.
+V1_SCHEMA = """
+CREATE TABLE runs (
+    key TEXT PRIMARY KEY,
+    code_version TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    result TEXT NOT NULL,
+    created_at TEXT NOT NULL
+);
+"""
+
+#: v2 DDL as individual statements: they must run through ``execute`` (never
+#: ``executescript``, whose implicit COMMIT would break the single-transaction
+#: schema setup in :meth:`SqliteStore._ensure_schema`).
+_V2_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        key TEXT PRIMARY KEY,
+        code_version TEXT NOT NULL,
+        scenario TEXT NOT NULL,
+        result TEXT NOT NULL,
+        tracker TEXT,
+        workload TEXT,
+        attack TEXT,
+        nrh INTEGER,
+        seed INTEGER,
+        elapsed_seconds REAL,
+        created_at TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS runs_by_code_version ON runs (code_version)",
+    "CREATE INDEX IF NOT EXISTS runs_by_scenario ON runs "
+    "(tracker, workload, attack)",
+    """
+    CREATE TABLE IF NOT EXISTS campaigns (
+        name TEXT PRIMARY KEY,
+        created_at TEXT NOT NULL,
+        manifest TEXT NOT NULL
+    )
+    """,
+)
+
+
+def create_schema_v1(connection: sqlite3.Connection) -> None:
+    """Create the historical v1 schema (used by the migration tests)."""
+    connection.executescript(V1_SCHEMA)
+    connection.execute("PRAGMA user_version = 1")
+    connection.commit()
+
+
+def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
+    """v1 -> v2: scenario columns, per-run timing, campaign manifests."""
+    for column, kind in (
+        ("tracker", "TEXT"),
+        ("workload", "TEXT"),
+        ("attack", "TEXT"),
+        ("nrh", "INTEGER"),
+        ("seed", "INTEGER"),
+        ("elapsed_seconds", "REAL"),
+    ):
+        connection.execute(f"ALTER TABLE runs ADD COLUMN {column} {kind}")
+    # Backfill the new columns from the scenario payload of existing rows.
+    rows = connection.execute("SELECT key, scenario FROM runs").fetchall()
+    for key, scenario_json in rows:
+        try:
+            scenario = json.loads(scenario_json)
+        except ValueError:
+            continue
+        if not isinstance(scenario, dict):
+            continue
+        connection.execute(
+            "UPDATE runs SET tracker = ?, workload = ?, attack = ?, "
+            "nrh = ?, seed = ? WHERE key = ?",
+            tuple(scenario.get(column) for column in SCENARIO_COLUMNS) + (key,),
+        )
+    for statement in _V2_STATEMENTS:
+        connection.execute(statement)
+
+
+#: Migration steps, keyed by the schema version they upgrade *from*.
+MIGRATIONS = {1: _migrate_v1_to_v2}
+
+
+class SqliteStore(ResultStore):
+    """The experiment warehouse: one SQLite database of completed runs.
+
+    The database is opened in WAL mode with a generous busy timeout so that
+    several pool-feeding processes can append concurrently; every ``put`` is
+    one ``INSERT OR REPLACE`` transaction.  The schema version lives in
+    ``PRAGMA user_version`` and is migrated forward on open.
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout: float = 30.0):
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # A store instance is not thread-safe (see the class contract), but
+        # it may legitimately be created on one thread and used on another
+        # (worker pools); disable sqlite3's same-thread assertion.
+        self._connection = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        self._connection.execute("PRAGMA busy_timeout = %d" % int(timeout * 1000))
+        try:
+            self._connection.execute("PRAGMA journal_mode = WAL")
+            self._connection.execute("PRAGMA synchronous = NORMAL")
+        except sqlite3.Error:  # pragma: no cover - filesystem-dependent
+            pass  # e.g. WAL unavailable on network filesystems; stay journaled
+        self._ensure_schema()
+
+    # -- schema --------------------------------------------------------- #
+
+    def _schema_version(self) -> int:
+        return self._connection.execute("PRAGMA user_version").fetchone()[0]
+
+    def _ensure_schema(self) -> None:
+        # BEGIN IMMEDIATE serialises concurrent creators: only one process
+        # runs the DDL; the others wait on the write lock and then see the
+        # finished schema.  Everything through the user_version bump happens
+        # in this one transaction (plain execute only -- executescript would
+        # COMMIT implicitly), so a crash mid-migration rolls back cleanly and
+        # the next open retries from the original version.
+        self._connection.execute("BEGIN IMMEDIATE")
+        try:
+            version = self._schema_version()
+            if version > SCHEMA_VERSION:
+                raise ValueError(
+                    f"warehouse {self.path} has schema version {version}, "
+                    f"newer than this code understands ({SCHEMA_VERSION}); "
+                    "refusing to touch it"
+                )
+            if version == 0:
+                for statement in _V2_STATEMENTS:
+                    self._connection.execute(statement)
+            else:
+                while version < SCHEMA_VERSION:
+                    MIGRATIONS[version](self._connection)
+                    version += 1
+            self._connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            self._connection.commit()
+        except BaseException:
+            self._connection.rollback()
+            raise
+
+    # -- run records ---------------------------------------------------- #
+
+    def _record_from_row(self, row) -> RunRecord | None:
+        key, code_version, scenario_json, result_json, elapsed, created = row
+        try:
+            scenario = json.loads(scenario_json)
+            result = json.loads(result_json)
+        except ValueError:
+            return None
+        return RunRecord(
+            key=key,
+            code_version=code_version,
+            scenario=scenario if isinstance(scenario, dict) else {},
+            result=result,
+            elapsed_seconds=elapsed,
+            created_at=created,
+        )
+
+    _SELECT = (
+        "SELECT key, code_version, scenario, result, elapsed_seconds, "
+        "created_at FROM runs"
+    )
+
+    def get(self, key: str) -> RunRecord | None:
+        try:
+            row = self._connection.execute(
+                f"{self._SELECT} WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        return self._record_from_row(row) if row is not None else None
+
+    def put(self, record: RunRecord) -> None:
+        try:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO runs (key, code_version, scenario, "
+                "result, tracker, workload, attack, nrh, seed, "
+                "elapsed_seconds, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.key,
+                    record.code_version,
+                    json.dumps(record.scenario, default=str),
+                    json.dumps(record.result),
+                    record.scenario_field("tracker"),
+                    record.scenario_field("workload"),
+                    record.scenario_field("attack"),
+                    record.scenario_field("nrh"),
+                    record.scenario_field("seed"),
+                    record.elapsed_seconds,
+                    record.created_at or utc_now(),
+                ),
+            )
+            self._connection.commit()
+        except (sqlite3.Error, TypeError, ValueError):
+            # Same contract as the JSON backend: a failed store write
+            # degrades to a miss, it never loses the in-memory result.
+            try:
+                self._connection.rollback()
+            except sqlite3.Error:  # pragma: no cover - double failure
+                pass
+
+    def keys(self) -> set[str]:
+        try:
+            rows = self._connection.execute("SELECT key FROM runs").fetchall()
+        except sqlite3.Error:
+            return set()
+        return {row[0] for row in rows}
+
+    def records(self) -> Iterator[RunRecord]:
+        rows = self._connection.execute(f"{self._SELECT} ORDER BY key").fetchall()
+        for row in rows:
+            record = self._record_from_row(row)
+            if record is not None:
+                yield record
+
+    def delete(self, keys: Iterable[str]) -> int:
+        keys = list(keys)
+        if not keys:
+            return 0
+        deleted = 0
+        for key in keys:
+            cursor = self._connection.execute(
+                "DELETE FROM runs WHERE key = ?", (key,)
+            )
+            deleted += cursor.rowcount
+        self._connection.commit()
+        return deleted
+
+    def query(
+        self,
+        tracker: str | None = None,
+        workload: str | None = None,
+        attack: str | None = None,
+        nrh: int | None = None,
+        code_version: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        clauses, values = [], []
+        for column, wanted in (
+            ("tracker", tracker),
+            ("workload", workload),
+            ("attack", attack),
+            ("nrh", nrh),
+            ("code_version", code_version),
+        ):
+            if wanted is not None:
+                clauses.append(f"{column} = ?")
+                values.append(wanted)
+        sql = self._SELECT
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY key"
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(int(limit))
+        rows = self._connection.execute(sql, values).fetchall()
+        records = (self._record_from_row(row) for row in rows)
+        return [record for record in records if record is not None]
+
+    def purge_other_code_versions(self, keep: str) -> int:
+        cursor = self._connection.execute(
+            "DELETE FROM runs WHERE code_version != ?", (keep,)
+        )
+        self._connection.commit()
+        return cursor.rowcount
+
+    def count_other_code_versions(self, keep: str) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM runs WHERE code_version != ?", (keep,)
+        ).fetchone()
+        return row[0]
+
+    # -- campaign manifests --------------------------------------------- #
+
+    def save_campaign(self, name: str, manifest: dict) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO campaigns (name, created_at, manifest) "
+            "VALUES (?, ?, ?)",
+            (
+                name,
+                manifest.get("created_at") or utc_now(),
+                json.dumps(manifest, default=str),
+            ),
+        )
+        self._connection.commit()
+
+    def load_campaign(self, name: str) -> dict | None:
+        row = self._connection.execute(
+            "SELECT manifest FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            manifest = json.loads(row[0])
+        except ValueError:
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def campaign_names(self) -> tuple[str, ...]:
+        rows = self._connection.execute(
+            "SELECT name FROM campaigns ORDER BY name"
+        ).fetchall()
+        return tuple(row[0] for row in rows)
+
+    def delete_campaign(self, name: str) -> bool:
+        cursor = self._connection.execute(
+            "DELETE FROM campaigns WHERE name = ?", (name,)
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except sqlite3.Error:  # pragma: no cover - already closed
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Backend resolution
+# --------------------------------------------------------------------------- #
+
+
+def open_store(
+    target: "str | os.PathLike | ResultStore | None",
+) -> ResultStore | None:
+    """Resolve a store target to a backend instance.
+
+    ``None`` and ``""`` disable storage; an existing :class:`ResultStore` is
+    passed through; a path ending in ``.sqlite`` / ``.sqlite3`` / ``.db``
+    opens the SQLite warehouse; any other path is a JSON cache directory.
+    """
+    if target is None or target == "":
+        return None
+    if isinstance(target, ResultStore):
+        return target
+    path = Path(target)
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        return SqliteStore(path)
+    return JsonDirStore(path)

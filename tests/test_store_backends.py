@@ -1,0 +1,396 @@
+"""Experiment warehouse backends: parity between the SQLite warehouse and the
+legacy JSON cache directory, schema migration, concurrent writers, atomic
+writes, and the worker cap of the sweep pool."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+import repro.sim.sweep as sweep_module
+from repro.config import reduced_row_config
+from repro.sim.sweep import CODE_VERSION, ResultCache, ScenarioSpec, SweepRunner
+from repro.store import (
+    SCHEMA_VERSION,
+    JsonDirStore,
+    RunRecord,
+    SqliteStore,
+    import_store,
+    open_store,
+    query_rows,
+)
+from repro.store.backend import create_schema_v1
+
+REQUESTS = 250
+
+
+@pytest.fixture(scope="module")
+def sweep_config():
+    return reduced_row_config(nrh=500, rows_per_bank=2048).with_refresh_window_scale(
+        1 / 32
+    )
+
+
+@pytest.fixture
+def spec(sweep_config):
+    return ScenarioSpec(
+        tracker="dapper-h",
+        workload="453.povray",
+        requests_per_core=REQUESTS,
+        config=sweep_config,
+    )
+
+
+def _record(key="k1", tracker="dapper-h", code_version=CODE_VERSION) -> RunRecord:
+    return RunRecord(
+        key=key,
+        code_version=code_version,
+        scenario={
+            "tracker": tracker,
+            "workload": "453.povray",
+            "attack": None,
+            "seed": 7,
+            "nrh": 500,
+        },
+        result={"payload": key},
+        elapsed_seconds=0.25,
+    )
+
+
+class TestBackendResolution:
+    def test_suffix_selects_sqlite(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "wh.sqlite"), SqliteStore)
+        assert isinstance(open_store(tmp_path / "wh.db"), SqliteStore)
+
+    def test_plain_path_selects_json_dir(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "cache"), JsonDirStore)
+
+    def test_none_and_empty_disable(self):
+        assert open_store(None) is None
+        assert open_store("") is None
+
+    def test_store_instance_passes_through(self, tmp_path):
+        store = JsonDirStore(tmp_path)
+        assert open_store(store) is store
+
+    def test_cache_rejects_both_targets(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            ResultCache(tmp_path, store=JsonDirStore(tmp_path))
+
+
+class TestBackendParity:
+    """sqlite == json-dir == serial: byte-identical stored results."""
+
+    def test_round_trip_identical_records(self, tmp_path):
+        record = _record()
+        json_store = JsonDirStore(tmp_path / "cache")
+        sqlite_store = SqliteStore(tmp_path / "wh.sqlite")
+        json_store.put(record)
+        sqlite_store.put(record)
+        from_json = json_store.get(record.key)
+        from_sqlite = sqlite_store.get(record.key)
+        for loaded in (from_json, from_sqlite):
+            assert loaded.key == record.key
+            assert loaded.code_version == record.code_version
+            assert loaded.scenario == record.scenario
+            assert loaded.result == record.result
+            assert loaded.elapsed_seconds == record.elapsed_seconds
+
+    def test_simulated_results_byte_identical_across_backends(
+        self, spec, tmp_path
+    ):
+        serial = SweepRunner().run_one(spec)
+        via_json = SweepRunner(cache_dir=tmp_path / "cache").run_one(spec)
+        via_sqlite = SweepRunner(cache_dir=tmp_path / "wh.sqlite").run_one(spec)
+        reference = json.dumps(serial.result.to_dict(), sort_keys=True)
+        for outcome in (via_json, via_sqlite):
+            assert json.dumps(outcome.result.to_dict(), sort_keys=True) == reference
+            assert outcome.normalized == serial.normalized
+
+    def test_sqlite_replay_hits_cache(self, spec, tmp_path):
+        SweepRunner(cache_dir=tmp_path / "wh.sqlite").run_one(spec)
+        replay = SweepRunner(cache_dir=tmp_path / "wh.sqlite")
+        outcome = replay.run_one(spec)
+        assert outcome.from_cache and outcome.baseline_from_cache
+        assert replay.stats.cache_misses == 0
+
+    def test_json_to_sqlite_import_replays_identically(self, spec, tmp_path):
+        reference = SweepRunner(cache_dir=tmp_path / "cache").run_one(spec)
+        warehouse = SqliteStore(tmp_path / "wh.sqlite")
+        imported, skipped = import_store(warehouse, tmp_path / "cache")
+        assert imported == 2 and skipped == 0  # measured + baseline
+        # Imported entries must be replayed as cache hits, bit-identically.
+        replay = SweepRunner(store=warehouse)
+        outcome = replay.run_one(spec)
+        assert outcome.from_cache
+        assert replay.stats.cache_misses == 0
+        assert json.dumps(outcome.result.to_dict(), sort_keys=True) == json.dumps(
+            reference.result.to_dict(), sort_keys=True
+        )
+        # Importing again skips everything.
+        assert import_store(warehouse, tmp_path / "cache") == (0, 2)
+
+    def test_sqlite_tolerates_corrupted_payload(self, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        store.put(_record())
+        store._connection.execute(
+            "UPDATE runs SET result = '{not json' WHERE key = 'k1'"
+        )
+        store._connection.commit()
+        assert store.get("k1") is None
+        assert ResultCache(store=store).load("k1") is None  # miss, not crash
+
+
+class TestSchemaMigration:
+    def _v1_database(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        create_schema_v1(connection)
+        connection.execute(
+            "INSERT INTO runs (key, code_version, scenario, result, created_at) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (
+                "old-key",
+                CODE_VERSION,
+                json.dumps(
+                    {
+                        "tracker": "graphene",
+                        "workload": "429.mcf",
+                        "attack": "refresh",
+                        "seed": 3,
+                        "nrh": 1000,
+                    }
+                ),
+                json.dumps({"payload": "v1"}),
+                "2026-01-01T00:00:00+00:00",
+            ),
+        )
+        connection.commit()
+        connection.close()
+        return path
+
+    def test_v1_database_migrates_and_keeps_data(self, tmp_path):
+        path = self._v1_database(tmp_path)
+        store = SqliteStore(path)
+        assert store._schema_version() == SCHEMA_VERSION
+        record = store.get("old-key")
+        assert record is not None
+        assert record.result == {"payload": "v1"}
+        assert record.elapsed_seconds is None   # v1 had no timing column
+
+    def test_migration_backfills_scenario_columns(self, tmp_path):
+        store = SqliteStore(self._v1_database(tmp_path))
+        matched = store.query(tracker="graphene", nrh=1000)
+        assert [record.key for record in matched] == ["old-key"]
+        assert store.query(tracker="dapper-h") == []
+
+    def test_migration_adds_campaign_table(self, tmp_path):
+        store = SqliteStore(self._v1_database(tmp_path))
+        store.save_campaign("after-migration", {"entries": []})
+        assert store.load_campaign("after-migration") == {"entries": []}
+
+    def test_failed_migration_rolls_back_cleanly(self, tmp_path, monkeypatch):
+        # A crash mid-migration must leave the database at v1 so the next
+        # open retries from scratch -- a partially-committed migration would
+        # fail every subsequent open on "duplicate column name".
+        import repro.store.backend as backend_module
+
+        path = self._v1_database(tmp_path)
+
+        def _crashing_migration(connection):
+            connection.execute("ALTER TABLE runs ADD COLUMN tracker TEXT")
+            raise sqlite3.OperationalError("simulated crash mid-migration")
+
+        monkeypatch.setitem(backend_module.MIGRATIONS, 1, _crashing_migration)
+        with pytest.raises(sqlite3.OperationalError, match="simulated crash"):
+            SqliteStore(path)
+        monkeypatch.undo()
+
+        store = SqliteStore(path)   # the real migration must now succeed
+        assert store._schema_version() == SCHEMA_VERSION
+        assert store.get("old-key") is not None
+        assert [record.key for record in store.query(tracker="graphene")] == [
+            "old-key"
+        ]
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        connection.commit()
+        connection.close()
+        with pytest.raises(ValueError, match="newer than this code"):
+            SqliteStore(path)
+
+    def test_reopening_is_idempotent(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        SqliteStore(path).put(_record())
+        reopened = SqliteStore(path)
+        assert reopened._schema_version() == SCHEMA_VERSION
+        assert reopened.get("k1") is not None
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_lose_nothing(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        SqliteStore(path).close()    # create the schema up front
+        per_writer, writers = 25, 4
+
+        def _write(writer: int) -> None:
+            # One store (= one connection) per writer, as pool feeders have.
+            store = SqliteStore(path)
+            for index in range(per_writer):
+                store.put(_record(key=f"w{writer}-{index}"))
+            store.close()
+
+        threads = [
+            threading.Thread(target=_write, args=(writer,))
+            for writer in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store = SqliteStore(path)
+        assert len(store.keys()) == per_writer * writers
+        assert all(record.result for record in store.records())
+
+    def test_concurrent_schema_creation(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        stores: list[SqliteStore] = []
+        errors: list[Exception] = []
+
+        def _open() -> None:
+            try:
+                stores.append(SqliteStore(path))
+            except Exception as error:  # pragma: no cover - failure mode
+                errors.append(error)
+
+        threads = [threading.Thread(target=_open) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(store._schema_version() == SCHEMA_VERSION for store in stores)
+
+
+class TestAtomicJsonWrites:
+    """A killed or failing writer must never leave a truncated cache entry."""
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        store = JsonDirStore(tmp_path)
+        store.put(_record())
+        assert [path.name for path in tmp_path.glob("*.tmp.*")] == []
+        assert store.get("k1") is not None
+
+    def test_unserializable_result_leaves_nothing_behind(self, tmp_path):
+        store = JsonDirStore(tmp_path)
+        bad = RunRecord(
+            key="bad",
+            code_version=CODE_VERSION,
+            scenario={},
+            result={"unserializable": object()},
+        )
+        store.put(bad)   # degrades silently, exactly like an unwritable disk
+        assert store.get("bad") is None
+        assert list(tmp_path.glob("bad*")) == []
+
+    def test_interrupted_write_preserves_previous_entry(self, tmp_path, monkeypatch):
+        store = JsonDirStore(tmp_path)
+        store.put(_record())
+        before = store.get("k1")
+
+        def _boom(payload, handle, **kwargs):
+            handle.write('{"partial":')
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.store.backend.json.dump", _boom)
+        store.put(_record())
+        monkeypatch.undo()
+        after = store.get("k1")
+        assert after is not None
+        assert after.result == before.result
+        assert [path.name for path in tmp_path.glob("*.tmp.*")] == []
+
+
+class _RecordingPool:
+    """In-process stand-in for ProcessPoolExecutor that records max_workers."""
+
+    max_workers_seen: int | None = None
+
+    def __init__(self, max_workers):
+        type(self).max_workers_seen = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        future = Future()
+        future.set_result(fn(*args))
+        return future
+
+
+class TestWorkerCap:
+    def test_pool_never_exceeds_pending_work(
+        self, sweep_config, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            sweep_module, "ProcessPoolExecutor", _RecordingPool
+        )
+        specs = [
+            ScenarioSpec(
+                tracker=tracker,
+                workload="453.povray",
+                requests_per_core=REQUESTS,
+                config=sweep_config,
+            )
+            for tracker in ("none", "dapper-h")
+        ]
+        runner = SweepRunner(jobs=8)
+        runner.run(specs)
+        # Two unique simulations pending (dapper-h + the shared baseline):
+        # eight requested jobs must be capped at two workers.
+        assert _RecordingPool.max_workers_seen == 2
+
+
+class TestQueryLayer:
+    def test_query_filters_and_limit(self, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        for index, tracker in enumerate(("dapper-h", "dapper-h", "graphene")):
+            store.put(_record(key=f"k{index}", tracker=tracker))
+        assert len(store.query(tracker="dapper-h")) == 2
+        assert len(store.query(tracker="dapper-h", limit=1)) == 1
+        assert store.query(tracker="graphene", nrh=999) == []
+        # The generic (scan-based) implementation must agree.
+        json_store = JsonDirStore(tmp_path / "cache")
+        for index, tracker in enumerate(("dapper-h", "dapper-h", "graphene")):
+            json_store.put(_record(key=f"k{index}", tracker=tracker))
+        assert len(json_store.query(tracker="dapper-h")) == 2
+        assert len(json_store.query(tracker="dapper-h", limit=1)) == 1
+
+    def test_query_rows_flatten(self, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        store.put(_record())
+        rows = query_rows(store, tracker="dapper-h")
+        assert rows[0]["tracker"] == "dapper-h"
+        assert rows[0]["elapsed_seconds"] == 0.25
+        assert rows[0]["code_version"] == CODE_VERSION
+
+    def test_gc_purges_only_other_code_versions(self, tmp_path):
+        from repro.store import gc_store
+
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        store.put(_record(key="current"))
+        store.put(_record(key="stale", code_version="older-version"))
+        assert gc_store(store, dry_run=True) == 1
+        assert len(store.keys()) == 2
+        assert gc_store(store) == 1
+        assert store.keys() == {"current"}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Benchmark the sweep engine: serial vs pooled vs warm-warehouse.
+
+Runs one reference scenario suite (a tracker x attack x workload
+cross-product) three ways and writes the wall-clock and cache accounting to a
+JSON artifact (default ``BENCH_sweep.json``), seeding the repo's performance
+trajectory:
+
+``serial``
+    Cold, cache-less, single-process execution -- the baseline cost of
+    simulating the suite.
+``pool``
+    Cold execution fanned out over ``--jobs`` worker processes, filling the
+    SQLite warehouse as results land.
+``warm``
+    The same suite again, served entirely from the warehouse: this is the
+    steady-state cost of re-generating figures or resuming campaigns.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sweep.py --jobs 4 -o BENCH_sweep.json
+
+The reference suite is intentionally small enough for CI (a few minutes
+serial) while still exercising baseline dedup, the process pool, and both
+attack and benign scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios import family_by_name                    # noqa: E402
+from repro.sim.sweep import CODE_VERSION, SweepRunner         # noqa: E402
+from repro.store import SqliteStore                           # noqa: E402
+
+
+def reference_specs(requests_per_core: int):
+    """The benchmark's scenario matrix (via the scenario catalog)."""
+    return family_by_name("cross-product").expand(
+        {
+            "trackers": ["none", "graphene", "dapper-h"],
+            "attacks": ["none", "refresh"],
+            "workloads": ["453.povray", "429.mcf"],
+            "requests_per_core": requests_per_core,
+            "geometry": "reduced",
+            "nrh": 500,
+        }
+    )
+
+
+def _run_mode(specs, runner: SweepRunner) -> dict:
+    started = time.perf_counter()
+    outcomes = runner.run(specs)
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_seconds": elapsed,
+        "scenarios": len(outcomes),
+        "simulations": runner.stats.simulations,
+        "cache_hits": runner.stats.cache_hits,
+        "cache_misses": runner.stats.cache_misses,
+        "cache_hit_rate": runner.stats.hit_rate,
+        "baselines_shared": runner.stats.baselines_shared,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_sweep.json")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=1500)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="warehouse path (default: a temporary .sqlite file)",
+    )
+    args = parser.parse_args(argv)
+
+    specs = reference_specs(args.requests)
+    print(f"reference suite: {len(specs)} scenarios, "
+          f"{args.requests} requests/core")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(args.store) if args.store else Path(tmp) / "wh.sqlite"
+
+        serial = _run_mode(specs, SweepRunner(jobs=1))
+        print(f"serial: {serial['elapsed_seconds']:.1f}s "
+              f"({serial['cache_misses']} simulations)")
+
+        store = SqliteStore(store_path)
+        pool = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
+        pool["jobs"] = args.jobs
+        print(f"pool x{args.jobs}: {pool['elapsed_seconds']:.1f}s "
+              f"({pool['cache_misses']} simulations)")
+
+        warm = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
+        print(f"warm warehouse: {warm['elapsed_seconds']:.2f}s "
+              f"(hit rate {warm['cache_hit_rate']:.0%})")
+
+    report = {
+        "benchmark": "sweep-engine",
+        "code_version": CODE_VERSION,
+        "reference_suite": {
+            "scenarios": len(specs),
+            "requests_per_core": args.requests,
+        },
+        "modes": {"serial": serial, "pool": pool, "warm": warm},
+        "speedup_pool_vs_serial": (
+            serial["elapsed_seconds"] / pool["elapsed_seconds"]
+            if pool["elapsed_seconds"] > 0
+            else None
+        ),
+        "speedup_warm_vs_serial": (
+            serial["elapsed_seconds"] / warm["elapsed_seconds"]
+            if warm["elapsed_seconds"] > 0
+            else None
+        ),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if warm["cache_hit_rate"] < 1.0:
+        print("ERROR: warm warehouse run was not fully cached", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
