@@ -75,3 +75,39 @@ class AttackGenerator:
 
     def next_entry(self) -> TraceEntry:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+
+    def next_batch(self, count: int):
+        """Next ``count`` entries as parallel ``(gaps, addresses, writes)``.
+
+        Generic implementation driving the subclass's :meth:`next_entry`, so
+        it is correct for every attack; subclasses whose ``next_entry`` is the
+        plain sequence-cycling pattern alias this to :meth:`_cycle_batch`.
+        """
+        gaps = [self.GAP_INSTRUCTIONS] * count
+        addresses = [0] * count
+        writes = [False] * count
+        next_entry = self.next_entry
+        for i in range(count):
+            entry = next_entry()
+            gaps[i] = entry.gap_instructions
+            addresses[i] = entry.address
+            writes[i] = entry.is_write
+        return gaps, addresses, writes
+
+    def _cycle_batch(self, count: int):
+        """Batched equivalent of the read-only sequence-cycling next_entry."""
+        sequence = self._sequence
+        length = len(sequence)
+        cursor = self._cursor
+        if count <= length - cursor:
+            addresses = sequence[cursor:cursor + count]
+        else:
+            addresses = sequence[cursor:]
+            remaining = count - (length - cursor)
+            full, tail = divmod(remaining, length)
+            addresses = addresses + sequence * full + sequence[:tail]
+        self._cursor = (cursor + count) % length
+        self.requests_generated += count
+        return [self.GAP_INSTRUCTIONS] * count, addresses, [False] * count

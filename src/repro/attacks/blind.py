@@ -91,6 +91,9 @@ class RandomRowCapacityAttack(AttackGenerator):
         self._cursor = (self._cursor + 1) % len(self._sequence)
         return self._entry(address)
 
+    #: The plain sequence-cycling pattern vectorizes directly.
+    next_batch = AttackGenerator._cycle_batch
+
 
 class ResetProbeAttack(AttackGenerator):
     """Escalates its aggressor-row count until structure resets appear.
@@ -220,3 +223,6 @@ class ManySidedRowHammerAttack(AttackGenerator):
         address = self._sequence[self._cursor]
         self._cursor = (self._cursor + 1) % len(self._sequence)
         return self._entry(address)
+
+    #: The plain sequence-cycling pattern vectorizes directly.
+    next_batch = AttackGenerator._cycle_batch

@@ -60,3 +60,6 @@ class RATThrashingAttack(AttackGenerator):
         address = self._sequence[self._cursor]
         self._cursor = (self._cursor + 1) % len(self._sequence)
         return self._entry(address)
+
+    #: The plain sequence-cycling pattern vectorizes directly.
+    next_batch = AttackGenerator._cycle_batch

@@ -70,6 +70,9 @@ class RefreshAttack(AttackGenerator):
         self._cursor = (self._cursor + 1) % len(self._sequence)
         return self._entry(address)
 
+    #: The plain sequence-cycling pattern vectorizes directly.
+    next_batch = AttackGenerator._cycle_batch
+
 
 class DoubleSidedRowHammerAttack(AttackGenerator):
     """Classic double-sided RowHammer against one victim row per bank pair.
@@ -113,3 +116,6 @@ class DoubleSidedRowHammerAttack(AttackGenerator):
         address = self._sequence[self._cursor]
         self._cursor = (self._cursor + 1) % len(self._sequence)
         return self._entry(address)
+
+    #: The plain sequence-cycling pattern vectorizes directly.
+    next_batch = AttackGenerator._cycle_batch

@@ -31,6 +31,11 @@ from repro.trackers.base import (
 from repro.core.bitvector import PerBankBitVector
 from repro.core.rgc import RowGroupCounterTable
 
+try:  # numpy vectorizes the mitigation-time cross-table scan; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 
 class _RankState:
     """Both RGC tables plus the bit-vector for one rank."""
@@ -40,9 +45,17 @@ class _RankState:
         self.table2 = RowGroupCounterTable(rank_row_bits, group_size, seed ^ 0x2222)
         self.bitvector = PerBankBitVector(self.table1.num_groups, num_banks)
         # Cache of a group's members annotated with their group in the other
-        # table; valid until the next re-keying.
+        # table; valid until the next re-keying.  The pair-list and the
+        # array-form caches are kept separate so the scalar API stays usable
+        # alongside the vectorized mitigation path.
         self.cross_cache_1: dict[int, list[tuple[int, int]]] = {}
         self.cross_cache_2: dict[int, list[tuple[int, int]]] = {}
+        self.cross_array_cache_1: dict[int, tuple] = {}
+        self.cross_array_cache_2: dict[int, tuple] = {}
+        # (group1, group2) -> the mitigation scan's key-epoch-invariant
+        # products: the shared rows and the two "other groups to read"
+        # index arrays (see DapperHTracker._mitigate).
+        self.pair_cache: dict[tuple[int, int], tuple] = {}
 
     def cross_members_1(self, group1: int) -> list[tuple[int, int]]:
         """Members of table-1 group ``group1`` as ``(rank_row, group2)`` pairs."""
@@ -66,12 +79,43 @@ class _RankState:
             self.cross_cache_2[group2] = cached
         return cached
 
+    def cross_arrays_1(self, group1: int):
+        """:meth:`cross_members_1` as ``(members, groups2)`` int64 arrays."""
+        cached = self.cross_array_cache_1.get(group1)
+        if cached is None:
+            members = self.table1.members(group1)
+            cached = (
+                _np.asarray(members, dtype=_np.int64),
+                _np.asarray(
+                    [self.table2.group_of(m) for m in members], dtype=_np.int64
+                ),
+            )
+            self.cross_array_cache_1[group1] = cached
+        return cached
+
+    def cross_arrays_2(self, group2: int):
+        """:meth:`cross_members_2` as ``(members, groups1)`` int64 arrays."""
+        cached = self.cross_array_cache_2.get(group2)
+        if cached is None:
+            members = self.table2.members(group2)
+            cached = (
+                _np.asarray(members, dtype=_np.int64),
+                _np.asarray(
+                    [self.table1.group_of(m) for m in members], dtype=_np.int64
+                ),
+            )
+            self.cross_array_cache_2[group2] = cached
+        return cached
+
     def reset_and_rekey(self) -> None:
         self.table1.reset_and_rekey()
         self.table2.reset_and_rekey()
         self.bitvector.reset_all()
         self.cross_cache_1.clear()
         self.cross_cache_2.clear()
+        self.cross_array_cache_1.clear()
+        self.cross_array_cache_2.clear()
+        self.pair_cache.clear()
 
 
 class DapperHTracker(RowHammerTracker):
@@ -96,6 +140,9 @@ class DapperHTracker(RowHammerTracker):
         self.use_reset_counters = use_reset_counters
         self._ranks: dict[tuple[int, int], _RankState] = {}
         self._seed = config.seed ^ 0x44505248  # "DPRH"
+        # RowAddress -> (rank state, rank_row, bank index): the geometry is
+        # fixed for the tracker's lifetime, so this never invalidates.
+        self._row_memo: dict[RowAddress, tuple[_RankState, int, int]] = {}
         #: Count of mitigations by number of shared rows refreshed, used to
         #: validate the paper's claim that 99.9% of mitigations refresh a
         #: single row.
@@ -119,11 +166,17 @@ class DapperHTracker(RowHammerTracker):
     # ------------------------------------------------------------------ #
 
     def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
-        self._note_activation()
-        org = self.org
-        state = self._rank_state(row.bank.channel, row.bank.rank)
-        rank_row = row.rank_row_index(org)
-        bank_index = row.bank.rank_local_bank(org)
+        self.stats.activations_observed += 1  # inlined _note_activation
+        memo = self._row_memo.get(row)
+        if memo is None:
+            org = self.org
+            memo = (
+                self._rank_state(row.bank.channel, row.bank.rank),
+                row.rank_row_index(org),
+                row.bank.rank_local_bank(org),
+            )
+            self._row_memo[row] = memo
+        state, rank_row, bank_index = memo
 
         group1 = state.table1.group_of(rank_row)
         group2 = state.table2.group_of(rank_row)
@@ -157,8 +210,6 @@ class DapperHTracker(RowHammerTracker):
         group2: int,
     ) -> TrackerResponse:
         """Refresh the rows shared by ``group1`` and ``group2`` and reset."""
-        org = self.org
-
         # Decrypt table-1's group and annotate each member with its table-2
         # group; shared rows are those whose table-2 group is ``group2``.
         #
@@ -171,37 +222,87 @@ class DapperHTracker(RowHammerTracker):
         # counts back in would let a synchronised multi-row attack pin every
         # counter at the threshold and force a refresh storm.
         threshold = self.mitigation_threshold
-        shared: list[int] = []
-        reset1 = 0
-        for member, member_group2 in state.cross_members_1(group1):
-            if member_group2 == group2:
-                shared.append(member)
-            elif self.use_reset_counters:
-                other_count = state.table2.count(member_group2)
-                if other_count < threshold:
-                    reset1 = max(reset1, other_count)
+        if _np is not None:
+            # Vectorized cross-table scan: identical member sets and counter
+            # reads as the scalar loops below; the reductions (max over
+            # integer counts below the threshold) are order-independent.
+            # Which rows are shared and which opposite-table groups each scan
+            # reads depend only on the key epoch, so they are cached per
+            # (group1, group2) pair -- mitigation-heavy attacks hammer the
+            # same pair repeatedly.
+            cached = state.pair_cache.get((group1, group2))
+            if cached is None:
+                members1, groups2_of = state.cross_arrays_1(group1)
+                shared_mask = groups2_of == group2
+                shared_arr = members1[shared_mask]
+                members2, groups1_of = state.cross_arrays_2(group2)
+                keep = ~_np.isin(members2, shared_arr)
+                shared_rows = shared_arr.tolist()
+                channel = row.bank.channel
+                rank = row.bank.rank
+                cached = (
+                    frozenset(shared_rows),
+                    groups2_of[~shared_mask],
+                    groups1_of[keep],
+                    tuple(
+                        self._to_row_address(channel, rank, member)
+                        for member in shared_rows
+                    ),
+                )
+                state.pair_cache[(group1, group2)] = cached
+            shared_set, read_groups2, read_groups1, mitigations = cached
+            if rank_row not in shared_set:
+                # Safeguard only: the activated row is shared by construction.
+                mitigations = mitigations + (
+                    self._to_row_address(row.bank.channel, row.bank.rank, rank_row),
+                )
+            reset1 = 0
+            reset2 = 0
+            if self.use_reset_counters:
+                # max over the counts below the threshold; zero if none are
+                # (counts are non-negative, so the default cannot win).
+                counts2 = state.table2.counts_at(read_groups2)
+                reset1 = int(_np.max(
+                    counts2, initial=0, where=counts2 < threshold
+                ))
+                counts1 = state.table1.counts_at(read_groups1)
+                reset2 = int(_np.max(
+                    counts1, initial=0, where=counts1 < threshold
+                ))
+        else:
+            shared = []
+            reset1 = 0
+            for member, member_group2 in state.cross_members_1(group1):
+                if member_group2 == group2:
+                    shared.append(member)
+                elif self.use_reset_counters:
+                    other_count = state.table2.count(member_group2)
+                    if other_count < threshold:
+                        reset1 = max(reset1, other_count)
 
-        reset2 = 0
-        if self.use_reset_counters:
-            shared_set = set(shared)
-            for member, member_group1 in state.cross_members_2(group2):
-                if member in shared_set:
-                    continue
-                other_count = state.table1.count(member_group1)
-                if other_count < threshold:
-                    reset2 = max(reset2, other_count)
+            reset2 = 0
+            if self.use_reset_counters:
+                shared_set = set(shared)
+                for member, member_group1 in state.cross_members_2(group2):
+                    if member in shared_set:
+                        continue
+                    other_count = state.table1.count(member_group1)
+                    if other_count < threshold:
+                        reset2 = max(reset2, other_count)
 
-        # The activated row is always shared by construction.
-        if rank_row not in shared:
-            shared.append(rank_row)
+            # The activated row is always shared by construction.
+            if rank_row not in shared:
+                shared.append(rank_row)
 
-        mitigations = tuple(
-            self._to_row_address(row.bank.channel, row.bank.rank, member)
-            for member in shared
-        )
-        self._note_mitigation(len(mitigations))
-        self.shared_row_histogram[len(shared)] = (
-            self.shared_row_histogram.get(len(shared), 0) + 1
+            mitigations = tuple(
+                self._to_row_address(row.bank.channel, row.bank.rank, member)
+                for member in shared
+            )
+
+        num_shared = len(mitigations)
+        self._note_mitigation(num_shared)
+        self.shared_row_histogram[num_shared] = (
+            self.shared_row_histogram.get(num_shared, 0) + 1
         )
 
         ceiling = self.mitigation_threshold - 1

@@ -13,9 +13,22 @@ from __future__ import annotations
 
 from repro.crypto.llbc import LowLatencyBlockCipher
 
+try:  # numpy backs the counter array and batch reads; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 
 class RowGroupCounterTable:
-    """One RGC table with its own cipher over the rank's row-address space."""
+    """One RGC table with its own cipher over the rank's row-address space.
+
+    The counter table is numpy-backed when numpy is available
+    (``use_numpy=False`` keeps the plain-list reference model); the scalar
+    ``count``/``increment``/``set_count`` API always deals in Python ints, so
+    both backings are observationally identical.  :meth:`counts_at` reads many
+    group counters at once, which is what makes DAPPER's mitigation-time
+    cross-table scan (one read per group member) vectorizable.
+    """
 
     def __init__(
         self,
@@ -23,6 +36,7 @@ class RowGroupCounterTable:
         group_size: int,
         seed: int,
         counter_bits: int = 8,
+        use_numpy: bool | None = None,
     ):
         if group_size < 1 or group_size & (group_size - 1):
             raise ValueError("group_size must be a positive power of two")
@@ -31,16 +45,35 @@ class RowGroupCounterTable:
         self.counter_bits = counter_bits
         self.cipher = LowLatencyBlockCipher(rank_row_bits, seed)
         self.num_groups = (1 << rank_row_bits) // group_size
-        self._counters = [0] * self.num_groups
+        if use_numpy is None:
+            use_numpy = _np is not None
+        if use_numpy and _np is None:
+            raise ValueError("numpy backing requested but numpy is unavailable")
+        self.use_numpy = use_numpy
+        self._counters = (
+            _np.zeros(self.num_groups, dtype=_np.int64)
+            if use_numpy
+            else [0] * self.num_groups
+        )
         self._member_cache: dict[int, list[int]] = {}
+        self._group_cache: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Mapping
     # ------------------------------------------------------------------ #
 
     def group_of(self, rank_row_index: int) -> int:
-        """Group index the row currently maps to (depends on the key epoch)."""
-        return self.cipher.encrypt(rank_row_index) // self.group_size
+        """Group index the row currently maps to (depends on the key epoch).
+
+        Memoized until the next re-keying: the cipher is a fixed bijection
+        within a key epoch, and RowHammer workloads activate the same rows
+        repeatedly.
+        """
+        group = self._group_cache.get(rank_row_index)
+        if group is None:
+            group = self.cipher.encrypt(rank_row_index) // self.group_size
+            self._group_cache[rank_row_index] = group
+        return group
 
     def members(self, group_index: int) -> list[int]:
         """All rank-row indices currently mapped to ``group_index``.
@@ -66,12 +99,26 @@ class RowGroupCounterTable:
     # ------------------------------------------------------------------ #
 
     def count(self, group_index: int) -> int:
-        return self._counters[group_index]
+        return int(self._counters[group_index])
+
+    def counts_at(self, group_indices):
+        """Counts of many groups at once.
+
+        ``group_indices`` may be a sequence or (array-backed) a numpy index
+        array; the result is a numpy array in the array-backed case and a
+        list otherwise.  Reads only -- aggregation over the result (max,
+        comparisons) is order-independent, so it is exactly equivalent to a
+        loop of :meth:`count` calls.
+        """
+        counters = self._counters
+        if self.use_numpy:
+            return counters[group_indices]
+        return [counters[index] for index in group_indices]
 
     def increment(self, group_index: int) -> int:
         """Saturating increment; returns the new value."""
         ceiling = (1 << self.counter_bits) - 1
-        value = min(ceiling, self._counters[group_index] + 1)
+        value = min(ceiling, int(self._counters[group_index]) + 1)
         self._counters[group_index] = value
         return value
 
@@ -79,13 +126,17 @@ class RowGroupCounterTable:
         self._counters[group_index] = max(0, value)
 
     def reset_all(self) -> None:
-        for index in range(self.num_groups):
-            self._counters[index] = 0
+        if self.use_numpy:
+            self._counters.fill(0)
+        else:
+            for index in range(self.num_groups):
+                self._counters[index] = 0
 
     def rekey(self) -> None:
         """Refresh the cipher keys (row-to-group mapping changes entirely)."""
         self.cipher.rekey()
         self._member_cache.clear()
+        self._group_cache.clear()
 
     def reset_and_rekey(self) -> None:
         self.reset_all()
@@ -97,4 +148,6 @@ class RowGroupCounterTable:
 
     def nonzero_groups(self) -> int:
         """Number of groups with a non-zero counter (useful in tests)."""
+        if self.use_numpy:
+            return int((self._counters != 0).sum())
         return sum(1 for value in self._counters if value)

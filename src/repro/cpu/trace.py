@@ -47,6 +47,29 @@ class RequestGenerator(Protocol):
         ...
 
 
+def generator_batch(generator, count: int):
+    """Next ``count`` entries of any generator as parallel lists.
+
+    Returns ``(gaps, addresses, writes)``.  Generators that implement a
+    ``next_batch`` fast path (workload traces, sequence-cycling attacks) are
+    used directly; anything else falls back to per-entry calls, so the result
+    is always exactly what ``count`` calls of ``next_entry`` would produce.
+    """
+    batch = getattr(generator, "next_batch", None)
+    if batch is not None:
+        return batch(count)
+    gaps = [0] * count
+    addresses = [0] * count
+    writes = [False] * count
+    next_entry = generator.next_entry
+    for i in range(count):
+        entry = next_entry()
+        gaps[i] = entry.gap_instructions
+        addresses[i] = entry.address
+        writes[i] = entry.is_write
+    return gaps, addresses, writes
+
+
 class IdleGenerator:
     """A core that never issues memory traffic.
 
@@ -146,6 +169,91 @@ class WorkloadTraceGenerator:
         jitter = self._rng.next_below(max(1, self._mean_gap // 2) * 2 + 1)
         gap = max(1, self._mean_gap - self._mean_gap // 2 + jitter)
         return TraceEntry(gap_instructions=gap, address=address, is_write=is_write)
+
+    def next_batch(self, count: int):
+        """Next ``count`` entries as parallel ``(gaps, addresses, writes)``.
+
+        Bit-identical to ``count`` calls of :meth:`next_entry` (same RNG
+        consumption order, same addresses/gaps/write flags, same generator
+        state afterwards), but runs as one tight loop over a pregenerated RNG
+        block instead of per-entry method calls and object construction.
+        """
+        # Worst case per entry: reuse float + jump draw + run-length float +
+        # write float + jitter draw.  Over-reserving is free: unconsumed
+        # outputs stay buffered in the RNG for later calls.
+        reuse = self._reuse_fraction
+        locality = self.profile.row_locality
+        worst = 3 + (1 if reuse else 0) + (1 if 0.0 < locality < 1.0 else 0)
+        block, start = self._rng.reserve(count * worst)
+        segment = block[start:start + count * worst]
+        pos = 0
+
+        line_size = self.org.line_size_bytes
+        base = self._base_line
+        footprint = self._footprint_lines
+        limit = base + footprint
+        lines_per_row = self._lines_per_row
+        mean_gap = self._mean_gap
+        jitter_mod = max(1, mean_gap // 2) * 2 + 1
+        gap_base = mean_gap - mean_gap // 2
+        hot = self._hot_lines
+        write_fraction = self.profile.write_fraction
+        mean_run = locality / (1.0 - locality) if 0.0 < locality < 1.0 else 0.0
+        two53 = float(1 << 53)
+
+        # Each draw position is read either as a float or as a modulus, so
+        # the float view of the whole segment can be precomputed vectorized;
+        # it matches next_float bit-for-bit ((u >> 11) / 2**53 in both paths).
+        # Moduli stay scalar: their values are branch-dependent and cheap.
+        if isinstance(segment, list):
+            buf = segment
+            floats = [(value >> 11) / two53 for value in segment]
+        else:
+            buf = segment.tolist()
+            floats = ((segment >> 11) / two53).tolist()
+
+        cur = self._current_line
+        run = self._run_remaining
+        gaps = [0] * count
+        addresses = [0] * count
+        writes = [False] * count
+        for i in range(count):
+            if run > 0:
+                run -= 1
+                cur += 1
+                if cur >= limit:
+                    cur = base
+            else:
+                if reuse:
+                    if floats[pos] < reuse:
+                        pos += 1
+                        cur = base + buf[pos] % hot
+                    else:
+                        pos += 1
+                        cur = base + buf[pos] % footprint
+                    pos += 1
+                else:
+                    cur = base + buf[pos] % footprint
+                    pos += 1
+                if locality >= 1.0:
+                    run = lines_per_row
+                elif locality <= 0.0:
+                    run = 0
+                else:
+                    length = 1 + int(floats[pos] * 2 * mean_run)
+                    pos += 1
+                    run = length if length < lines_per_row else lines_per_row
+            addresses[i] = cur * line_size
+            writes[i] = floats[pos] < write_fraction
+            pos += 1
+            gap = gap_base + buf[pos] % jitter_mod
+            pos += 1
+            gaps[i] = gap if gap > 1 else 1
+
+        self._current_line = cur
+        self._run_remaining = run
+        self._rng.consume(pos)
+        return gaps, addresses, writes
 
 
 class WorkloadProfileLike(Protocol):

@@ -11,8 +11,78 @@ stream generator.
 
 from __future__ import annotations
 
+try:  # numpy accelerates block generation; everything works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 
 _MASK64 = (1 << 64) - 1
+
+#: xorshift64* output multiplier.
+_XS_MULT = 0x2545F4914F6CDD1D
+
+#: Lane count used by the vectorized block generator.  The GF(2) jump matrix
+#: advances every lane by ``_LANES`` steps at once, so one vectorized step
+#: yields ``_LANES`` outputs of the *sequential* stream.
+_LANES = 8192
+
+#: Block generation only pays off past this size (seeding the lanes costs
+#: ``_LANES`` scalar steps); smaller requests use a tight scalar loop, which
+#: is itself much faster than per-call next_u64.
+_VECTOR_THRESHOLD = 8192
+
+
+def _xs_step(x: int) -> int:
+    """One xorshift64 state transition (no output multiply)."""
+    x ^= x >> 12
+    x ^= (x << 25) & _MASK64
+    x ^= x >> 27
+    return x
+
+
+def _xs_matmul(a: list[int], b: list[int]) -> list[int]:
+    """Compose two GF(2) 64x64 matrices stored column-wise as uint64 rows.
+
+    ``a[i]`` is the image of basis vector ``1 << i``; the product maps
+    ``v -> a(b(v))``.
+    """
+    out = []
+    for column in b:
+        acc = 0
+        bit = 0
+        while column:
+            if column & 1:
+                acc ^= a[bit]
+            column >>= 1
+            bit += 1
+        out.append(acc)
+    return out
+
+
+def _xs_jump_matrix(steps: int) -> list[int]:
+    """Matrix of ``steps`` xorshift64 state transitions over GF(2)."""
+    single = [_xs_step(1 << i) for i in range(64)]
+    result = [1 << i for i in range(64)]  # identity
+    power = single
+    while steps:
+        if steps & 1:
+            result = _xs_matmul(power, result)
+        power = _xs_matmul(power, power)
+        steps >>= 1
+    return result
+
+
+_JUMP_CACHE: dict[int, "object"] = {}
+
+
+def _jump_rows(steps: int):
+    """The jump matrix as a numpy uint64 array, cached per step count."""
+    rows = _JUMP_CACHE.get(steps)
+    if rows is None:
+        rows = _np.array(_xs_jump_matrix(steps), dtype=_np.uint64)
+        _JUMP_CACHE[steps] = rows
+    return rows
 
 
 class SplitMix64:
@@ -37,18 +107,126 @@ class SplitMix64:
 
 class XorShift64:
     """xorshift64* generator: fast, deterministic, and good enough for
-    address-pattern and sampling decisions inside the simulator."""
+    address-pattern and sampling decisions inside the simulator.
+
+    The generator exposes two equivalent views of the *same* output stream:
+
+    * the classic scalar calls (:meth:`next_u64` and friends), and
+    * block access via :meth:`reserve`/:meth:`consume`/:meth:`take`, which
+      pregenerate outputs in bulk (vectorized with numpy when available).
+
+    Pregenerated outputs are buffered and drained by the scalar calls first,
+    so interleaving scalar and block consumers never changes the emitted
+    sequence -- a block-mode consumer sees exactly the values a scalar loop
+    would have seen.  Note that ``_state`` runs *ahead* of the emitted stream
+    while buffered outputs remain.
+    """
 
     def __init__(self, seed: int):
         self._state = (seed & _MASK64) or 0x1234_5678_9ABC_DEF1
+        self._block = None
+        self._block_pos = 0
 
     def next_u64(self) -> int:
+        block = self._block
+        if block is not None:
+            pos = self._block_pos
+            if pos < len(block):
+                self._block_pos = pos + 1
+                return int(block[pos])
+            self._block = None
         x = self._state
         x ^= (x >> 12) & _MASK64
         x ^= (x << 25) & _MASK64
         x ^= (x >> 27) & _MASK64
         self._state = x & _MASK64
         return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    # -- block access ------------------------------------------------------
+
+    def reserve(self, count: int):
+        """Ensure ``count`` outputs are buffered; return ``(block, pos)``.
+
+        ``block[pos:pos + count]`` holds the next ``count`` outputs of the
+        stream (a numpy uint64 array when numpy is available, else a list).
+        The outputs are *not* consumed; call :meth:`consume` once used.
+        """
+        block = self._block
+        pos = self._block_pos
+        remaining = (len(block) - pos) if block is not None else 0
+        if remaining >= count:
+            return block, pos
+        fresh = self._generate(count - remaining)
+        if remaining:
+            leftover = block[pos:]
+            if _np is not None and isinstance(block, _np.ndarray):
+                fresh = _np.concatenate([leftover, fresh])
+            else:
+                fresh = list(leftover) + list(fresh)
+        self._block = fresh
+        self._block_pos = 0
+        return fresh, 0
+
+    def consume(self, count: int) -> None:
+        """Mark ``count`` reserved outputs as emitted."""
+        block = self._block
+        available = (len(block) - self._block_pos) if block is not None else 0
+        if count > available:
+            raise ValueError(f"consume({count}) exceeds {available} buffered outputs")
+        self._block_pos += count
+
+    def take(self, count: int):
+        """Return (and consume) the next ``count`` outputs as one block."""
+        block, pos = self.reserve(count)
+        self._block_pos = pos + count
+        return block[pos:pos + count]
+
+    def _generate(self, count: int):
+        """Generate the next ``count``-or-more outputs, advancing ``_state``."""
+        if _np is None or count < _VECTOR_THRESHOLD:
+            return self._generate_scalar(count)
+        return self._generate_vector(count)
+
+    def _generate_scalar(self, count: int):
+        x = self._state
+        out = [0] * count
+        for i in range(count):
+            x ^= x >> 12
+            x = (x ^ (x << 25)) & _MASK64
+            x ^= x >> 27
+            out[i] = (x * _XS_MULT) & _MASK64
+        self._state = x
+        if _np is not None:
+            return _np.array(out, dtype=_np.uint64)
+        return out
+
+    def _generate_vector(self, count: int):
+        # Lane i starts at state s_{i+1}; applying the T^LANES jump matrix to
+        # every lane advances the whole front by _LANES sequential steps, so
+        # each vectorized application yields _LANES outputs of the sequential
+        # stream (outputs are states times the xorshift64* multiplier).
+        steps = -(-count // _LANES)
+        jump = _jump_rows(_LANES)
+        x = self._state
+        lane_states = [0] * _LANES
+        for i in range(_LANES):
+            x ^= x >> 12
+            x = (x ^ (x << 25)) & _MASK64
+            x ^= x >> 27
+            lane_states[i] = x
+        lanes = _np.array(lane_states, dtype=_np.uint64)
+        mult = _np.uint64(_XS_MULT)
+        one = _np.uint64(1)
+        out = _np.empty(steps * _LANES, dtype=_np.uint64)
+        out[:_LANES] = lanes * mult
+        for j in range(1, steps):
+            advanced = _np.zeros(_LANES, dtype=_np.uint64)
+            for b in range(64):
+                advanced ^= ((lanes >> _np.uint64(b)) & one) * jump[b]
+            lanes = advanced
+            out[j * _LANES:(j + 1) * _LANES] = lanes * mult
+        self._state = int(lanes[-1])
+        return out
 
     def next_float(self) -> float:
         """Uniform float in [0, 1)."""

@@ -19,6 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import NamedTuple
 
+try:  # numpy accelerates batched decode; the scalar path needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 from repro.config import DRAMOrganization
 
 
@@ -134,6 +139,48 @@ class AddressMapper:
             row=row,
             column=column,
         )
+
+    def decode_batch(self, addresses):
+        """Vectorized :meth:`decode` over a sequence of byte addresses.
+
+        Returns ``(channel, rank, bank_group, bank, row, column, flat_bank)``
+        parallel arrays (numpy int64 when numpy is available, else lists),
+        where ``flat_bank`` is :meth:`BankAddress.flat` of each decoded
+        address -- the system-wide bank index the controller and DRAM model
+        key their state by.
+        """
+        org = self.org
+        if _np is not None:
+            value = _np.asarray(addresses, dtype=_np.int64) >> self._offset_bits
+            channel = value & ((1 << self._channel_bits) - 1)
+            value >>= self._channel_bits
+            bank_group = value & ((1 << self._bg_bits) - 1)
+            value >>= self._bg_bits
+            bank = value & ((1 << self._bank_bits) - 1)
+            value >>= self._bank_bits
+            column = value & ((1 << self._column_bits) - 1)
+            value >>= self._column_bits
+            rank = value & ((1 << self._rank_bits) - 1)
+            value >>= self._rank_bits
+            row = value & ((1 << self._row_bits) - 1)
+            flat_bank = (
+                ((channel * org.ranks_per_channel + rank)
+                 * org.bank_groups_per_rank + bank_group)
+                * org.banks_per_group + bank
+            )
+            return channel, rank, bank_group, bank, row, column, flat_bank
+        channels, ranks, bank_groups, banks = [], [], [], []
+        rows, columns, flat_banks = [], [], []
+        for address in addresses:
+            decoded = self.decode(address)
+            channels.append(decoded.channel)
+            ranks.append(decoded.rank)
+            bank_groups.append(decoded.bank_group)
+            banks.append(decoded.bank)
+            rows.append(decoded.row)
+            columns.append(decoded.column)
+            flat_banks.append(decoded.bank_address.flat(org))
+        return channels, ranks, bank_groups, banks, rows, columns, flat_banks
 
     def encode(
         self,

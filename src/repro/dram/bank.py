@@ -13,7 +13,7 @@ class BankState(str, Enum):
     ACTIVE = "active"      # a row is open in the row buffer
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """Mutable timing state of one DRAM bank.
 

@@ -81,13 +81,13 @@ class DRAMStats:
         return data
 
 
-@dataclass
+@dataclass(slots=True)
 class _RankState:
     next_act_ns: float = 0.0
     blocked_until_ns: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ChannelState:
     bus_ready_ns: float = 0.0
     blocked_until_ns: float = 0.0
@@ -120,6 +120,17 @@ class DRAMSystem:
             _ChannelState() for _ in range(self.org.channels)
         ]
         self._counter_cursor = 0
+        # Hot-path copies of the (frozen) timing parameters.
+        t = config.timings
+        self._trp = t.trp_ns
+        self._trc = t.trc_ns
+        self._trcd = t.trcd_ns
+        self._trrd_s = t.trrd_s_ns
+        self._tcl = t.tcl_ns
+        self._tburst = t.tburst_ns
+        self._twr = t.twr_ns
+        self._trefi = t.trefi_ns
+        self._trfc = t.trfc_ns
 
     # ------------------------------------------------------------------ #
     # Index helpers
@@ -151,60 +162,16 @@ class DRAMSystem:
         ``extra_act_delay_ns`` lengthens the activation (used by PRAC, whose
         per-row counter update extends the row cycle).
         """
-        t = self.timings
         bank_addr = decoded.bank_address
-        bank = self._banks[self._bank_index(bank_addr)]
-        rank = self._ranks[self._rank_index(decoded.channel, decoded.rank)]
-        channel = self._channels[decoded.channel]
-
-        start = bank.earliest_start(earliest_ns)
-        start = max(start, rank.blocked_until_ns, channel.blocked_until_ns)
-        start = self.refresh.adjust_for_refresh(
-            start, self._rank_index(decoded.channel, decoded.rank)
+        start, completion, activated, row_hit = self.access_flat(
+            self._bank_index(bank_addr),
+            self._rank_index(decoded.channel, decoded.rank),
+            decoded.channel,
+            decoded.row,
+            is_write,
+            earliest_ns,
+            extra_act_delay_ns,
         )
-
-        activated = False
-        row_hit = False
-        if bank.open_row == decoded.row:
-            row_hit = True
-            bank.row_hits += 1
-            self.stats.row_hits += 1
-            col_issue = start
-        else:
-            if bank.open_row is None:
-                bank.row_misses += 1
-                self.stats.row_misses += 1
-                act_start = start
-            else:
-                bank.row_conflicts += 1
-                self.stats.row_conflicts += 1
-                act_start = start + t.trp_ns
-            act_start = max(act_start, bank.next_act_ns, rank.next_act_ns)
-            act_start = self.refresh.adjust_for_refresh(
-                act_start, self._rank_index(decoded.channel, decoded.rank)
-            )
-            activated = True
-            bank.activations += 1
-            self.stats.activations += 1
-            self.energy.record(CommandKind.ACT)
-            bank.next_act_ns = act_start + t.trc_ns + extra_act_delay_ns
-            rank.next_act_ns = act_start + t.trrd_s_ns
-            bank.open_row = decoded.row
-            col_issue = act_start + t.trcd_ns + extra_act_delay_ns
-
-        transfer_start = max(col_issue + t.tcl_ns, channel.bus_ready_ns)
-        completion = transfer_start + t.tburst_ns
-        channel.bus_ready_ns = completion
-
-        if is_write:
-            self.stats.writes += 1
-            self.energy.record(CommandKind.WR)
-            bank.ready_ns = max(bank.ready_ns, completion + t.twr_ns)
-        else:
-            self.stats.reads += 1
-            self.energy.record(CommandKind.RD)
-            bank.ready_ns = max(bank.ready_ns, col_issue)
-
         return DRAMAccessResult(
             start_ns=start,
             completion_ns=completion,
@@ -213,6 +180,107 @@ class DRAMSystem:
             bank=bank_addr,
             row=decoded.row,
         )
+
+    def access_flat(
+        self,
+        bank_index: int,
+        rank_index: int,
+        channel_index: int,
+        row: int,
+        is_write: bool,
+        earliest_ns: float,
+        extra_act_delay_ns: float = 0.0,
+    ) -> tuple[float, float, bool, bool]:
+        """Timing core of :meth:`access`, keyed by flat indices.
+
+        Returns ``(start_ns, completion_ns, activated, row_hit)``.  This is
+        the single source of truth for request timing: :meth:`access` wraps it
+        with address-object decode/packaging, and the batched engine calls it
+        directly with predecoded coordinates.
+        """
+        # Hot path: ``max`` chains are unrolled into comparisons and the
+        # refresh/energy helpers are inlined (all value-identical -- the
+        # operands are non-negative, so tie-breaking cannot differ).
+        stats = self.stats
+        bank = self._banks[bank_index]
+        rank = self._ranks[rank_index]
+        channel = self._channels[channel_index]
+        trefi = self._trefi
+        trfc = self._trfc
+        stagger = self.refresh.stagger_per_rank_ns
+        energy_counts = self.energy._counts
+
+        start = earliest_ns
+        if bank.ready_ns > start:
+            start = bank.ready_ns
+        if bank.blocked_until_ns > start:
+            start = bank.blocked_until_ns
+        if rank.blocked_until_ns > start:
+            start = rank.blocked_until_ns
+        if channel.blocked_until_ns > start:
+            start = channel.blocked_until_ns
+        phase = (start - rank_index * stagger) % trefi
+        if phase < trfc:
+            start = start + (trfc - phase)
+
+        activated = False
+        row_hit = False
+        open_row = bank.open_row
+        if open_row == row:
+            row_hit = True
+            bank.row_hits += 1
+            stats.row_hits += 1
+            col_issue = start
+        else:
+            if open_row is None:
+                bank.row_misses += 1
+                stats.row_misses += 1
+                act_start = start
+            else:
+                bank.row_conflicts += 1
+                stats.row_conflicts += 1
+                act_start = start + self._trp
+            if bank.next_act_ns > act_start:
+                act_start = bank.next_act_ns
+            if rank.next_act_ns > act_start:
+                act_start = rank.next_act_ns
+            phase = (act_start - rank_index * stagger) % trefi
+            if phase < trfc:
+                act_start = act_start + (trfc - phase)
+            activated = True
+            bank.activations += 1
+            stats.activations += 1
+            energy_counts[CommandKind.ACT] = (
+                energy_counts.get(CommandKind.ACT, 0) + 1
+            )
+            bank.next_act_ns = act_start + self._trc + extra_act_delay_ns
+            rank.next_act_ns = act_start + self._trrd_s
+            bank.open_row = row
+            col_issue = act_start + self._trcd + extra_act_delay_ns
+
+        transfer_start = col_issue + self._tcl
+        if channel.bus_ready_ns > transfer_start:
+            transfer_start = channel.bus_ready_ns
+        completion = transfer_start + self._tburst
+        channel.bus_ready_ns = completion
+
+        if is_write:
+            stats.writes += 1
+            energy_counts[CommandKind.WR] = (
+                energy_counts.get(CommandKind.WR, 0) + 1
+            )
+            ready = completion + self._twr
+            if ready > bank.ready_ns:
+                bank.ready_ns = ready
+        else:
+            stats.reads += 1
+            energy_counts[CommandKind.RD] = (
+                energy_counts.get(CommandKind.RD, 0) + 1
+            )
+            if col_issue > bank.ready_ns:
+                bank.ready_ns = col_issue
+
+        return start, completion, activated, row_hit
 
     # ------------------------------------------------------------------ #
     # Tracker-injected traffic

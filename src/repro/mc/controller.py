@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig
-from repro.dram.address import AddressMapper, RowAddress
+from repro.dram.address import AddressMapper, BankAddress, RowAddress
 from repro.dram.commands import Blackout, CommandKind, MitigationScope
 from repro.dram.dram_system import DRAMSystem
 from repro.trackers.base import GroupMitigation, RowHammerTracker, TrackerResponse
@@ -62,6 +62,31 @@ class MemoryController:
         self.auditor = auditor
         self.stats = ControllerStats()
         self._last_refresh_window = 0
+        # Conservative lower bound (1 ns of slack for float rounding) on the
+        # first timestamp at which a new refresh window starts; requests
+        # before it skip the window bookkeeping, anything at or past it
+        # re-runs the exact floor-division check.
+        self._next_window_ns = config.timings.trefw_ns - 1.0
+        self._row_addr_cache: dict[int, RowAddress] = {}
+        # Hook-override flags: the base-class hooks are documented no-ops
+        # (return 0.0 / do nothing), so the hot path skips the calls entirely
+        # for trackers that do not override them.  Behaviour-identical.
+        tracker_cls = type(tracker)
+        self._tracker_notes_source = (
+            tracker_cls.note_request_source
+            is not RowHammerTracker.note_request_source
+        )
+        self._tracker_throttles = (
+            tracker_cls.throttle_delay_ns is not RowHammerTracker.throttle_delay_ns
+        )
+        self._tracker_delays_completion = (
+            tracker_cls.completion_delay_ns
+            is not RowHammerTracker.completion_delay_ns
+        )
+        self._tracker_extends_act = (
+            tracker_cls.activation_extension_ns
+            is not RowHammerTracker.activation_extension_ns
+        )
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -75,47 +100,111 @@ class MemoryController:
         core_id: int = 0,
     ) -> float:
         """Service one request and return its completion time."""
-        self.stats.requests += 1
-        if is_write:
-            self.stats.write_requests += 1
-        else:
-            self.stats.read_requests += 1
-
-        self._check_refresh_window(earliest_ns)
-
         decoded = self.mapper.decode(address)
-        row_addr = decoded.row_address
-
-        self.tracker.note_request_source(core_id)
-
-        delay = self.tracker.throttle_delay_ns(row_addr, earliest_ns)
-        if delay > 0.0:
-            self.stats.throttled_requests += 1
-            self.stats.throttle_time_ns += delay
-            earliest_ns += delay
-
-        result = self.dram.access(
-            decoded,
+        return self.service_row(
+            decoded.row_address,
+            decoded.bank_address.flat(self.config.dram),
+            decoded.channel * self.config.dram.ranks_per_channel + decoded.rank,
+            decoded.channel,
+            decoded.row,
             is_write,
             earliest_ns,
-            extra_act_delay_ns=self.tracker.activation_extension_ns(),
+            core_id,
         )
 
-        if result.activated:
-            if self.auditor is not None:
-                self.auditor.on_activation(row_addr, result.completion_ns)
-            response = self.tracker.on_activation(row_addr, result.completion_ns)
-            if not response.is_empty:
-                self._apply_response(response, row_addr, result.completion_ns)
+    def service_row(
+        self,
+        row_addr: RowAddress,
+        bank_index: int,
+        rank_index: int,
+        channel_index: int,
+        row: int,
+        is_write: bool,
+        earliest_ns: float,
+        core_id: int = 0,
+    ) -> float:
+        """Service one request given predecoded coordinates.
 
-        completion_ns = result.completion_ns
-        response_delay = self.tracker.completion_delay_ns(row_addr, completion_ns)
-        if response_delay > 0.0:
-            self.stats.throttled_requests += 1
-            self.stats.throttle_time_ns += response_delay
-            completion_ns += response_delay
+        Single source of truth for the request path: :meth:`service` wraps it
+        with address decode, and the batched engine calls it directly with
+        coordinates precomputed by :meth:`AddressMapper.decode_batch`.
+        """
+        stats = self.stats
+        stats.requests += 1
+        if is_write:
+            stats.write_requests += 1
+        else:
+            stats.read_requests += 1
+
+        if earliest_ns >= self._next_window_ns:
+            self._check_refresh_window(earliest_ns)
+
+        tracker = self.tracker
+        if self._tracker_notes_source:
+            tracker.note_request_source(core_id)
+
+        throttled = False
+        if self._tracker_throttles:
+            delay = tracker.throttle_delay_ns(row_addr, earliest_ns)
+            if delay > 0.0:
+                throttled = True
+                stats.throttle_time_ns += delay
+                earliest_ns += delay
+
+        extra_act = (
+            tracker.activation_extension_ns() if self._tracker_extends_act else 0.0
+        )
+        start, completion_ns, activated, row_hit = self.dram.access_flat(
+            bank_index,
+            rank_index,
+            channel_index,
+            row,
+            is_write,
+            earliest_ns,
+            extra_act,
+        )
+
+        if activated:
+            if self.auditor is not None:
+                self.auditor.on_activation(row_addr, completion_ns)
+            response = tracker.on_activation(row_addr, completion_ns)
+            if not response.is_empty:
+                self._apply_response(response, row_addr, completion_ns)
+
+        if self._tracker_delays_completion:
+            response_delay = tracker.completion_delay_ns(row_addr, completion_ns)
+            if response_delay > 0.0:
+                throttled = True
+                stats.throttle_time_ns += response_delay
+                completion_ns += response_delay
+
+        # A request delayed at both issue and completion still counts once:
+        # throttled_requests counts *requests*, throttle_time_ns the delays.
+        if throttled:
+            stats.throttled_requests += 1
 
         return completion_ns
+
+    def row_address_from_flat(self, bank_index: int, row: int) -> RowAddress:
+        """Memoized flat-bank-index + row -> :class:`RowAddress`.
+
+        The batched engine works in predecoded flat coordinates; trackers
+        expect :class:`RowAddress` objects.  Hot rows repeat constantly, so
+        the cache turns reconstruction into a dict hit.
+        """
+        org = self.config.dram
+        key = bank_index * org.rows_per_bank + row
+        cached = self._row_addr_cache.get(key)
+        if cached is None:
+            bank = bank_index % org.banks_per_group
+            rest = bank_index // org.banks_per_group
+            bank_group = rest % org.bank_groups_per_rank
+            rest //= org.bank_groups_per_rank
+            rank = rest % org.ranks_per_channel
+            channel = rest // org.ranks_per_channel
+            cached = RowAddress(BankAddress(channel, rank, bank_group, bank), row)
+            self._row_addr_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # Tracker response handling
@@ -202,7 +291,8 @@ class MemoryController:
     # ------------------------------------------------------------------ #
 
     def _check_refresh_window(self, now_ns: float) -> None:
-        window = int(now_ns // self.config.timings.trefw_ns)
+        trefw = self.config.timings.trefw_ns
+        window = int(now_ns // trefw)
         if window <= self._last_refresh_window:
             return
         for crossed in range(self._last_refresh_window + 1, window + 1):
@@ -211,3 +301,4 @@ class MemoryController:
                 self.auditor.on_refresh_window(crossed)
             self.stats.refresh_windows += 1
         self._last_refresh_window = window
+        self._next_window_ns = (window + 1) * trefw - 1.0

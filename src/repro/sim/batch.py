@@ -1,0 +1,574 @@
+"""Batched simulation engine: the default hot path of the simulator.
+
+:class:`BatchedSimulator` is a drop-in replacement for
+:class:`~repro.sim.simulator.Simulator` that produces **bit-identical**
+:class:`~repro.sim.simulator.SimulationResult` objects while restructuring
+the per-request hot path around batches:
+
+* request generation is prefetched in blocks through
+  :func:`repro.cpu.trace.generator_batch` (workload traces and
+  sequence-cycling attacks have vectorized ``next_batch`` fast paths over a
+  pregenerated RNG block);
+* address decode runs vectorized over each prefetched block
+  (:meth:`repro.dram.address.AddressMapper.decode_batch`), so the event loop
+  works in predecoded flat coordinates and only reconstructs
+  :class:`~repro.dram.address.RowAddress` objects -- memoized -- when a
+  request actually reaches DRAM;
+* the LLC warm-up phase is settled in bulk: its statistics are discarded
+  anyway, so only the final tag/LRU/dirty state is materialised;
+* the measured loop inlines the LLC hit path and keeps draining the *same*
+  core while its next event is strictly earlier than the scheduler heap's
+  head, so runs of non-interacting accesses (LLC hits, same-row streaks) stay
+  out of the heap entirely.  Requests that miss fall through to
+  :meth:`~repro.mc.controller.MemoryController.service_row`, the same single
+  source of truth the scalar engine uses.
+
+Why bit-identity holds: every request generator is feedback-free (its
+``next_entry`` consumes only private state seeded at construction), so
+prefetching entries ahead of simulated time cannot change any stream.  The
+global service order is preserved exactly -- a core is only continued while
+``core.next_event_time() < heap[0][0]`` *strictly*, because on a time tie the
+scalar engine pops the heap entry (its tie-breaking sequence number is always
+older than the would-be re-push).  Every floating-point operation on the
+timing path is performed by the same shared code in the same order.
+
+The scalar :class:`~repro.sim.simulator.Simulator` remains the reference
+model; ``REPRO_SIM_ENGINE=scalar`` selects it globally and the parity suite
+(``tests/test_batch_parity.py``) pins the two engines against each other for
+every registered tracker.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import os
+from dataclasses import is_dataclass
+
+from repro.cpu.trace import generator_batch
+from repro.crypto.prng import XorShift64
+from repro.sim.simulator import Simulator
+
+try:  # numpy accelerates decode/set-index precompute; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+
+def _state_fingerprint(value, depth: int = 0):
+    """Hashable fingerprint of a generator's (pre-warm-up) state.
+
+    Equal fingerprints guarantee identical behaviour: the fingerprint covers
+    every attribute that ``next_entry`` can read (RNG state included).  Types
+    the recursion does not recognise fall back to ``repr``; an address-bearing
+    repr merely misses the cache, it can never produce a wrong hit.
+    """
+    if isinstance(value, XorShift64):
+        block = value._block
+        return (
+            "rng",
+            value._state,
+            value._block_pos,
+            None if block is None else tuple(int(v) for v in block),
+        )
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(
+            _state_fingerprint(v, depth + 1) for v in value
+        )
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            sorted(
+                (repr(k), _state_fingerprint(v, depth + 1))
+                for k, v in value.items()
+            )
+        )
+    if is_dataclass(value):
+        return (type(value).__qualname__, repr(value))
+    if depth < 4 and hasattr(value, "__dict__"):
+        return (type(value).__qualname__,) + tuple(
+            (k, _state_fingerprint(v, depth + 1))
+            for k, v in sorted(vars(value).items())
+        )
+    return repr(value)
+
+
+#: Post-warm-up (generator state, LLC set contents) memo, keyed by the full
+#: pre-warm-up state of every warmed generator plus the LLC geometry.  Sweeps
+#: run the same workload mix under many trackers, and the warm-up does not
+#: depend on the tracker at all, so most scenarios replay a cached warm-up.
+_WARM_CACHE: dict = {}
+_WARM_CACHE_MAX = 8
+
+
+class _CoreFeed:
+    """Prefetched, predecoded request block for one core.
+
+    Parallel lists (``gaps``/``addresses``/``writes`` plus decoded DRAM
+    coordinates and LLC set/tag indices) with a cursor; ``refill`` fetches
+    the next block from the core's generator.  Budgeted cores never prefetch
+    past their remaining request budget.
+    """
+
+    __slots__ = (
+        "core", "generator", "bypasses_llc", "mapper",
+        "ranks_per_channel", "line_size", "num_sets", "batch",
+        "gaps", "addresses", "writes",
+        "rows", "flat_banks", "rank_idx", "channels",
+        "set_idx", "tags", "size", "idx",
+    )
+
+    def __init__(self, core, mapper, config, batch: int):
+        self.core = core
+        self.generator = core.generator
+        self.bypasses_llc = core.generator.bypasses_llc
+        self.mapper = mapper
+        self.ranks_per_channel = config.dram.ranks_per_channel
+        self.line_size = config.llc.line_size_bytes
+        self.num_sets = config.llc.num_sets
+        self.batch = batch
+        self.gaps = self.addresses = self.writes = None
+        self.rows = self.flat_banks = self.rank_idx = self.channels = None
+        self.set_idx = self.tags = None
+        self.size = 0
+        self.idx = 0
+
+    def refill(self) -> None:
+        core = self.core
+        count = self.batch
+        budget = core.request_budget
+        if budget is not None:
+            count = min(count, budget - core.requests_issued)
+        gaps, addresses, writes = generator_batch(self.generator, count)
+        self.gaps = gaps
+        self.addresses = addresses
+        self.writes = writes
+        if self.bypasses_llc or _np is not None:
+            ch, rk, _, _, rows, _, flat = self.mapper.decode_batch(addresses)
+            if _np is not None:
+                self.channels = ch.tolist()
+                self.rank_idx = (ch * self.ranks_per_channel + rk).tolist()
+                self.rows = rows.tolist()
+                self.flat_banks = flat.tolist()
+            else:
+                rpc = self.ranks_per_channel
+                self.channels = ch
+                self.rank_idx = [c * rpc + r for c, r in zip(ch, rk)]
+                self.rows = rows
+                self.flat_banks = flat
+        else:
+            # Without numpy, predecoding every entry of a hit-dominated core
+            # costs more than it saves; misses decode lazily via service().
+            self.flat_banks = None
+        if not self.bypasses_llc:
+            if _np is not None:
+                lines = _np.asarray(addresses, dtype=_np.int64) // self.line_size
+                self.set_idx = (lines % self.num_sets).tolist()
+                self.tags = (lines // self.num_sets).tolist()
+            else:
+                line_size = self.line_size
+                num_sets = self.num_sets
+                lines = [address // line_size for address in addresses]
+                self.set_idx = [line % num_sets for line in lines]
+                self.tags = [line // num_sets for line in lines]
+        self.size = count
+        self.idx = 0
+
+
+class BatchedSimulator(Simulator):
+    """Batch-structured engine, bit-identical to :class:`Simulator`."""
+
+    #: Entries prefetched per core per refill of the measured loop.
+    BATCH = 4096
+    #: Warm-up accesses generated per core per chunk (bounds peak memory).
+    WARM_CHUNK = 16384
+
+    # ------------------------------------------------------------------ #
+
+    def _warm_llc(self) -> None:
+        """Bulk-settle the LLC warm-up.
+
+        The scalar warm-up plays entries round-robin through
+        :meth:`SharedLLC.access` and then throws the statistics away; only
+        the final tag/LRU/dirty state survives into measurement.  This
+        version batch-generates each core's entries and replays the same
+        round-robin interleaving against the set dictionaries directly,
+        skipping all statistics bookkeeping.
+        """
+        if self.llc_warmup_accesses <= 0:
+            return
+        warm_cores = [
+            core for core in self.cores if not core.generator.bypasses_llc
+        ]
+        if not warm_cores:
+            return
+        llc = self.llc
+        sets = llc._sets
+        num_sets = llc._num_sets
+        data_ways = llc._data_ways
+        line_size = llc.config.line_size_bytes
+
+        # The warm-up depends only on the warmed generators' initial state
+        # and the LLC geometry -- not on the tracker or attack under test --
+        # so sweeps replay a memoized warm-up instead of regenerating it.
+        cache_key = None
+        if all(hasattr(core.generator, "__dict__") for core in warm_cores):
+            cache_key = (
+                self.llc_warmup_accesses,
+                num_sets,
+                data_ways,
+                line_size,
+                tuple(
+                    _state_fingerprint(core.generator) for core in warm_cores
+                ),
+            )
+        cached = _WARM_CACHE.get(cache_key) if cache_key is not None else None
+        if cached is not None:
+            generator_states, set_states = cached
+            for core, state in zip(warm_cores, generator_states):
+                core.generator.__dict__.update(copy.deepcopy(state))
+            for live, stored in zip(sets, set_states):
+                live.clear()
+                live.update(stored)
+            llc.stats = type(llc.stats)()
+            return
+
+        remaining = self.llc_warmup_accesses
+        while remaining > 0:
+            count = min(self.WARM_CHUNK, remaining)
+            remaining -= count
+            batches = []
+            for core in warm_cores:
+                _, addresses, writes = generator_batch(core.generator, count)
+                if not data_ways:
+                    continue  # bypass LLC: generate (to advance the
+                    # stream) but nothing to replay into an empty cache
+                if _np is not None:
+                    lines = _np.asarray(addresses, dtype=_np.int64) // line_size
+                    set_idx = lines % num_sets
+                    tags = lines // num_sets
+                else:
+                    set_idx = tags = None
+                    lines = [address // line_size for address in addresses]
+                batches.append((set_idx, tags, lines, writes))
+            if not data_ways:
+                continue
+            # Flatten the round-robin interleave into one stream per chunk.
+            if _np is not None:
+                seq_set = _np.stack(
+                    [b[0] for b in batches], axis=1
+                ).ravel().tolist()
+                seq_tag = _np.stack(
+                    [b[1] for b in batches], axis=1
+                ).ravel().tolist()
+            else:
+                seq_set = [
+                    line % num_sets
+                    for group in zip(*(b[2] for b in batches))
+                    for line in group
+                ]
+                seq_tag = [
+                    line // num_sets
+                    for group in zip(*(b[2] for b in batches))
+                    for line in group
+                ]
+            seq_write = [
+                write
+                for group in zip(*(b[3] for b in batches))
+                for write in group
+            ]
+            for set_index, tag, write in zip(seq_set, seq_tag, seq_write):
+                cache_set = sets[set_index]
+                if tag in cache_set:
+                    cache_set.move_to_end(tag)
+                    if write:
+                        cache_set[tag] = True
+                else:
+                    if len(cache_set) >= data_ways:
+                        cache_set.popitem(last=False)
+                    cache_set[tag] = write
+        # Mirror the scalar engine: measurement starts from fresh statistics.
+        llc.stats = type(llc.stats)()
+
+        if cache_key is not None:
+            if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
+                _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
+            _WARM_CACHE[cache_key] = (
+                [copy.deepcopy(vars(core.generator)) for core in warm_cores],
+                [s.copy() for s in sets],
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self):
+        """Advance every core until all benign budgets are exhausted.
+
+        Identical scheduling semantics to :meth:`Simulator.run`; see the
+        module docstring for why the run-batching rule preserves the exact
+        global service order.
+        """
+        self._warm_llc()
+        cores_by_id = {core.core_id: core for core in self.cores}
+        benign_pending = {
+            core.core_id
+            for core in self.cores
+            if core.request_budget is not None
+        }
+        if not benign_pending:
+            raise ValueError("at least one core needs a finite request budget")
+
+        feeds = {
+            core.core_id: _CoreFeed(core, self.mapper, self.config, self.BATCH)
+            for core in self.cores
+        }
+
+        llc = self.llc
+        sets = llc._sets
+        num_sets = llc._num_sets
+        data_ways = llc._data_ways
+        stats = llc.stats
+        per_core_hits = stats.per_core_hits
+        per_core_misses = stats.per_core_misses
+        hit_latency = self.config.llc.hit_latency_ns
+        line_size = self.config.llc.line_size_bytes
+        controller = self.controller
+        service_row = controller.service_row
+        service = controller.service
+        row_from_flat = controller.row_address_from_flat
+        row_cache = controller._row_addr_cache
+        rows_per_bank = self.config.dram.rows_per_bank
+        # Hookless fast path: when the tracker overrides none of the
+        # per-request hooks and no auditor is attached, service_row reduces
+        # to stats + refresh-window guard + DRAM access + on_activation.
+        # Inlining that tail here skips a call and four dead hook branches
+        # per request; trackers with any hook fall back to service_row.
+        fast_service = (
+            controller.auditor is None
+            and not controller._tracker_notes_source
+            and not controller._tracker_throttles
+            and not controller._tracker_delays_completion
+            and not controller._tracker_extends_act
+        )
+        cstats = controller.stats
+        access_flat = controller.dram.access_flat
+        on_activation = controller.tracker.on_activation
+        apply_response = controller._apply_response
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        sequence = 0
+        heap: list[tuple[float, int, int]] = []
+        for core in self.cores:
+            heappush(heap, (core.next_event_time(), sequence, core.core_id))
+            sequence += 1
+
+        while benign_pending and heap:
+            _, _, core_id = heappop(heap)
+            core = cores_by_id[core_id]
+            feed = feeds[core_id]
+            budget = core.request_budget
+            bypasses = feed.bypasses_llc
+            # The core's hot scheduling state lives in locals while the core
+            # is being drained (written back at every exit point below);
+            # ``outstanding`` is the core's own heap, mutated in place.  The
+            # inlined blocks mirror CoreModel.begin_request_values /
+            # complete_read / next_event_time exactly.
+            outstanding = core._outstanding
+            mlp = core.effective_mlp
+            peak = core.config.peak_instructions_per_ns
+            cpu_time = core.cpu_time_ns
+            instructions = core.instructions_retired
+            requests = core.requests_issued
+            i = feed.idx
+            size = feed.size
+            gaps = feed.gaps
+            writes = feed.writes
+            rows = feed.rows
+            flat_banks = feed.flat_banks
+            rank_idx = feed.rank_idx
+            channels = feed.channels
+            tags_arr = feed.tags
+            set_arr = feed.set_idx
+            addresses = feed.addresses
+            while True:
+                if i >= size:
+                    core.requests_issued = requests  # refill reads the budget
+                    feed.refill()
+                    i = 0
+                    size = feed.size
+                    gaps = feed.gaps
+                    writes = feed.writes
+                    rows = feed.rows
+                    flat_banks = feed.flat_banks
+                    rank_idx = feed.rank_idx
+                    channels = feed.channels
+                    tags_arr = feed.tags
+                    set_arr = feed.set_idx
+                    addresses = feed.addresses
+                is_write = writes[i]
+                gap = gaps[i]
+                issue_ns = cpu_time + gap / peak
+                if len(outstanding) >= mlp:
+                    release = heappop(outstanding)
+                    if release > issue_ns:
+                        issue_ns = release
+                cpu_time = issue_ns
+                instructions += gap
+                requests += 1
+
+                if bypasses:
+                    row = rows[i]
+                    flat = flat_banks[i]
+                    row_addr = row_cache.get(flat * rows_per_bank + row)
+                    if row_addr is None:
+                        row_addr = row_from_flat(flat, row)
+                    if fast_service:
+                        cstats.requests += 1
+                        if is_write:
+                            cstats.write_requests += 1
+                        else:
+                            cstats.read_requests += 1
+                        if issue_ns >= controller._next_window_ns:
+                            controller._check_refresh_window(issue_ns)
+                        _s, completion_ns, activated, _h = access_flat(
+                            flat, rank_idx[i], channels[i], row,
+                            is_write, issue_ns, 0.0,
+                        )
+                        if activated:
+                            response = on_activation(row_addr, completion_ns)
+                            if not response.is_empty:
+                                apply_response(
+                                    response, row_addr, completion_ns
+                                )
+                    else:
+                        completion_ns = service_row(
+                            row_addr, flat, rank_idx[i],
+                            channels[i], row, is_write, issue_ns, core_id,
+                        )
+                else:
+                    tag = tags_arr[i]
+                    cache_set = sets[set_arr[i]]
+                    if tag in cache_set:
+                        # Inlined SharedLLC.access hit path.
+                        cache_set.move_to_end(tag)
+                        if is_write:
+                            cache_set[tag] = True
+                        stats.hits += 1
+                        per_core_hits[core_id] = (
+                            per_core_hits.get(core_id, 0) + 1
+                        )
+                        completion_ns = issue_ns + hit_latency
+                    else:
+                        stats.misses += 1
+                        per_core_misses[core_id] = (
+                            per_core_misses.get(core_id, 0) + 1
+                        )
+                        writeback_line = None
+                        if data_ways:
+                            if len(cache_set) >= data_ways:
+                                evicted_tag, dirty = cache_set.popitem(
+                                    last=False
+                                )
+                                stats.evictions += 1
+                                if dirty:
+                                    stats.dirty_evictions += 1
+                                    writeback_line = (
+                                        evicted_tag * num_sets + set_arr[i]
+                                    )
+                            cache_set[tag] = is_write
+                        if flat_banks is not None:
+                            row = rows[i]
+                            flat = flat_banks[i]
+                            row_addr = row_cache.get(
+                                flat * rows_per_bank + row
+                            )
+                            if row_addr is None:
+                                row_addr = row_from_flat(flat, row)
+                            if fast_service:
+                                cstats.requests += 1
+                                if is_write:
+                                    cstats.write_requests += 1
+                                else:
+                                    cstats.read_requests += 1
+                                if issue_ns >= controller._next_window_ns:
+                                    controller._check_refresh_window(issue_ns)
+                                _s, completion_ns, activated, _h = access_flat(
+                                    flat, rank_idx[i], channels[i], row,
+                                    is_write, issue_ns, 0.0,
+                                )
+                                if activated:
+                                    response = on_activation(
+                                        row_addr, completion_ns
+                                    )
+                                    if not response.is_empty:
+                                        apply_response(
+                                            response, row_addr, completion_ns
+                                        )
+                            else:
+                                completion_ns = service_row(
+                                    row_addr, flat,
+                                    rank_idx[i], channels[i], row,
+                                    is_write, issue_ns, core_id,
+                                )
+                        else:
+                            completion_ns = service(
+                                addresses[i], is_write, issue_ns, core_id
+                            )
+                        if writeback_line is not None:
+                            service(
+                                writeback_line * line_size, True,
+                                completion_ns, core_id,
+                            )
+                        completion_ns += hit_latency
+
+                i += 1
+                if not is_write:
+                    heappush(outstanding, completion_ns)
+                if budget is not None and requests >= budget:
+                    # note_progress is a no-op until the budget is reached,
+                    # so calling it only here matches the scalar engine.
+                    feed.idx = i
+                    core.cpu_time_ns = cpu_time
+                    core.instructions_retired = instructions
+                    core.requests_issued = requests
+                    core.note_progress()
+                    benign_pending.discard(core_id)
+                    break
+                if outstanding and len(outstanding) >= mlp:
+                    head = outstanding[0]
+                    next_ns = head if head > cpu_time else cpu_time
+                else:
+                    next_ns = cpu_time
+                # Strictly earlier than the heap head: on a tie the scalar
+                # engine serves the heap entry first (older sequence number).
+                if heap and heap[0][0] <= next_ns:
+                    feed.idx = i
+                    core.cpu_time_ns = cpu_time
+                    core.instructions_retired = instructions
+                    core.requests_issued = requests
+                    heappush(heap, (next_ns, sequence, core_id))
+                    sequence += 1
+                    break
+
+        return self._collect()
+
+
+_ENGINES = {"scalar": Simulator, "batched": BatchedSimulator}
+
+
+def engine_class(name: str | None = None) -> type[Simulator]:
+    """Resolve a simulation engine by name.
+
+    ``None`` falls back to the ``REPRO_SIM_ENGINE`` environment variable and
+    then to ``"batched"``.  Both engines produce bit-identical results; the
+    scalar engine exists as the reference model and as an escape hatch.
+    """
+    chosen = name or os.environ.get("REPRO_SIM_ENGINE") or "batched"
+    try:
+        return _ENGINES[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation engine {chosen!r}; "
+            f"expected one of {sorted(_ENGINES)}"
+        ) from None

@@ -20,13 +20,15 @@ from dataclasses import dataclass
 
 from repro.attacks import attack_by_name
 from repro.config import SystemConfig, baseline_config
-from repro.cpu.trace import TraceEntry, WorkloadTraceGenerator
+from repro.cpu.trace import TraceEntry, WorkloadTraceGenerator, generator_batch
 from repro.cpu.workloads import WorkloadProfile, get_workload
-from repro.dram.address import AddressMapper
+from repro.dram.address import AddressMapper, RowAddress
+from repro.sim.batch import engine_class
 from repro.sim.metrics import benign_normalized_performance
 from repro.sim.simulator import CoreSpec, SimulationResult, Simulator
 from repro.sim.sweep import CoreAssignment, ScenarioSpec, SweepRunner
 from repro.trackers.base import RowHammerTracker
+from repro.trackers.none import NoMitigation
 from repro.trackers.registry import create_tracker
 
 #: Outstanding-miss depth granted to attack kernels (a tuned attack process
@@ -300,25 +302,68 @@ def _replay_warmup(
     # supplies the next activation, so a rate-0.25 attacker contributes a
     # quarter as many warm-up activations as a full-rate one.
     rates = [1.0] * len(generators) if rates is None else rates
-    credits = [0.0] * len(generators)
+    num = len(generators)
+    if type(tracker) is NoMitigation:
+        # The no-op tracker only counts activations and can never produce the
+        # active response that stops the loop early, and the generators are
+        # warm-up-local, so the whole replay settles in bulk.
+        tracker.stats.activations_observed += activations
+        return activations
+    credits = [0.0] * num
     step_ns = config.timings.trrd_s_ns
     now_ns = 0.0
     performed = 0
-    for _ in range(activations):
-        for which, rate in enumerate(rates):
-            credits[which] += rate
-        chosen = max(range(len(credits)), key=lambda which: credits[which])
-        credits[chosen] -= 1.0
-        entry = generators[chosen].next_entry()
-        decoded = mapper.decode(entry.address)
-        response = tracker.on_activation(decoded.row_address, now_ns)
-        now_ns += step_ns
-        performed += 1
-        if (
-            response.mitigations
-            or response.group_mitigations
-            or response.blackouts
-        ):
+    # Per-generator prefetched address blocks.  The choice sequence depends
+    # only on the rates, so each chunk's entries can be batch-generated and
+    # replayed in choice order; over-generation past an early stop is
+    # harmless because the generators live only for this warm-up.
+    feed_addrs: list[list[int]] = [[] for _ in range(num)]
+    feed_pos = [0] * num
+    addr_cache: dict[int, RowAddress] = {}
+    decode = mapper.decode
+    on_activation = tracker.on_activation
+    chunk_size = 4096
+    while performed < activations:
+        count = min(chunk_size, activations - performed)
+        if num == 1:
+            choices = [0] * count
+        else:
+            choices = [0] * count
+            for i in range(count):
+                for which, rate in enumerate(rates):
+                    credits[which] += rate
+                chosen = max(range(num), key=lambda which: credits[which])
+                credits[chosen] -= 1.0
+                choices[i] = chosen
+        needs = [0] * num
+        for chosen in choices:
+            needs[chosen] += 1
+        for which in range(num):
+            short = needs[which] - (len(feed_addrs[which]) - feed_pos[which])
+            if short > 0:
+                _, addresses, _ = generator_batch(generators[which], short)
+                feed_addrs[which] = feed_addrs[which][feed_pos[which]:]
+                feed_addrs[which] += addresses
+                feed_pos[which] = 0
+        stopped = False
+        for chosen in choices:
+            address = feed_addrs[chosen][feed_pos[chosen]]
+            feed_pos[chosen] += 1
+            row_addr = addr_cache.get(address)
+            if row_addr is None:
+                row_addr = decode(address).row_address
+                addr_cache[address] = row_addr
+            response = on_activation(row_addr, now_ns)
+            now_ns += step_ns
+            performed += 1
+            if (
+                response.mitigations
+                or response.group_mitigations
+                or response.blackouts
+            ):
+                stopped = True
+                break
+        if stopped:
             break
     return performed
 
@@ -334,12 +379,18 @@ def run_workload(
     attack_warmup_activations: int = 0,
     llc_warmup_accesses: int = 25_000,
     core_plan: tuple[CoreAssignment, ...] | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run one scenario and return its :class:`SimulationResult`.
 
     ``core_plan`` replaces the classic homogeneous-workload-plus-optional-
     attacker layout with an explicit per-core layout (``attack`` must then be
     ``None``; ``workload`` is ignored).
+
+    ``engine`` selects the simulation engine (``"batched"`` -- the default --
+    or the reference ``"scalar"``); both produce bit-identical results, so
+    the choice is not part of any cache key.  ``None`` defers to the
+    ``REPRO_SIM_ENGINE`` environment variable.
     """
     config = config or baseline_config()
     seed = config.seed if seed is None else seed
@@ -359,7 +410,7 @@ def run_workload(
         )
     elif attack is not None and attack_warmup_activations > 0:
         warm_up_tracker(tracker_obj, attack, config, attack_warmup_activations, seed)
-    simulator = Simulator(
+    simulator = engine_class(engine)(
         config,
         tracker_obj,
         specs,

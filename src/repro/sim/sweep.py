@@ -62,7 +62,9 @@ from repro.sim.simulator import SimulationResult
 #: Salt mixed into every scenario hash.  Bump whenever a change to the
 #: simulator alters results for unchanged configurations, so stale on-disk
 #: cache entries are never replayed as current results.
-CODE_VERSION = "dapper-sim-v1"
+#: v2: ControllerStats.throttled_requests counts unique requests (a request
+#: delayed at both issue and completion used to count twice).
+CODE_VERSION = "dapper-sim-v2"
 
 
 @dataclass(frozen=True)

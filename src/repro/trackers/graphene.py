@@ -66,6 +66,9 @@ class GrapheneTracker(RowHammerTracker):
             trc_ns=config.timings.trc_ns,
         )
         self._tables: dict[int, MisraGriesSummary] = {}
+        # RowAddress -> its bank's table: the row-to-bank mapping is fixed,
+        # so this memo never invalidates (resets clear table contents only).
+        self._row_table: dict[RowAddress, MisraGriesSummary] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -81,8 +84,11 @@ class GrapheneTracker(RowHammerTracker):
     # ------------------------------------------------------------------ #
 
     def on_activation(self, row: RowAddress, now_ns: float) -> TrackerResponse:
-        self._note_activation()
-        table = self._table(row.bank.flat(self.org))
+        self.stats.activations_observed += 1  # inlined _note_activation
+        table = self._row_table.get(row)
+        if table is None:
+            table = self._table(row.bank.flat(self.org))
+            self._row_table[row] = table
         entry, _counted = table.observe(row.row, 0)
 
         if entry is not None and entry.count >= self.mitigation_threshold:

@@ -10,12 +10,32 @@
 All structures are deterministic: hash seeds are passed in explicitly.
 Per-tracker sizing (entry counts, thresholds) lives with each tracker module,
 which states its paper section and key parameters.
+
+The counter-table structures (:class:`CountMinSketch` and
+:class:`CountingBloomFilter`) are array-backed when numpy is available: the
+counters live in numpy integer arrays and bulk updates go through vectorized
+``increment_batch`` / ``estimate_batch`` methods.  The scalar API operates on
+the same storage and remains the semantic reference model -- constructing
+either structure with ``use_numpy=False`` forces the original pure-Python
+list storage, and the parity tests assert both backends produce identical
+counters and estimates for identical operation sequences.
+:class:`SetAssociativeCounterCache` intentionally keeps its dict-based design:
+its behaviour is dominated by per-access LRU recency updates and deterministic
+victim choice, which are inherently sequential, and its per-set population is
+bounded by the associativity, so there is no counter *table* to vectorize --
+the bulk tables it backs (Hydra's RCT, START's spill region) are plain dicts
+whose traffic the simulator charges through DRAM counter accesses.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+
+try:  # numpy backs the counter tables; everything works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 from repro.crypto.prng import XorShift64
 
@@ -32,16 +52,37 @@ def _mix(value: int, seed: int) -> int:
     return x & _MASK64
 
 
-class CountMinSketch:
-    """Count-Min Sketch with ``depth`` hash rows of ``width`` counters each."""
+def _mix_batch(values, seed: int):
+    """Vectorized :func:`_mix` over a numpy uint64 array (same bits)."""
+    x = values ^ _np.uint64(seed)
+    x = x * _np.uint64(0xFF51AFD7ED558CCD)
+    x ^= x >> _np.uint64(33)
+    x = x * _np.uint64(0xC4CEB9FE1A85EC53)
+    x ^= x >> _np.uint64(33)
+    return x
 
-    def __init__(self, depth: int, width: int, seed: int):
+
+class CountMinSketch:
+    """Count-Min Sketch with ``depth`` hash rows of ``width`` counters each.
+
+    Counters are stored in a numpy ``(depth, width)`` int64 array when numpy
+    is available (``use_numpy=None`` auto-detects); ``use_numpy=False`` keeps
+    the pure-Python list-of-lists reference storage.  Both backends are exact
+    integer counters -- every scalar and batch operation produces identical
+    results on either.
+    """
+
+    def __init__(self, depth: int, width: int, seed: int, use_numpy: bool | None = None):
         if depth < 1 or width < 1:
             raise ValueError("depth and width must be positive")
         self.depth = depth
         self.width = width
         self._seeds = [_mix(seed, 0x1000 + i) for i in range(depth)]
-        self._rows: list[list[int]] = [[0] * width for _ in range(depth)]
+        self._use_numpy = (_np is not None) if use_numpy is None else (use_numpy and _np is not None)
+        if self._use_numpy:
+            self._rows = [_np.zeros(width, dtype=_np.int64) for _ in range(depth)]
+        else:
+            self._rows = [[0] * width for _ in range(depth)]
 
     def _indices(self, key: int) -> list[int]:
         return [
@@ -52,18 +93,53 @@ class CountMinSketch:
         """Increment ``key`` and return the new (over-)estimate."""
         estimate = None
         for row, index in enumerate(self._indices(key)):
-            self._rows[row][index] += amount
-            value = self._rows[row][index]
+            counters = self._rows[row]
+            value = int(counters[index]) + amount
+            counters[index] = value
             estimate = value if estimate is None else min(estimate, value)
         return estimate or 0
 
     def estimate(self, key: int) -> int:
         """Current (over-)estimate of ``key``'s count."""
+        rows = self._rows
         return min(
-            self._rows[row][index] for row, index in enumerate(self._indices(key))
+            int(rows[row][index]) for row, index in enumerate(self._indices(key))
         )
 
+    def increment_batch(self, keys, amount: int = 1) -> None:
+        """Apply ``increment(key, amount)`` for every key in one shot.
+
+        Duplicate keys accumulate exactly as repeated scalar increments would
+        (integer additions commute); only the intermediate per-key estimates
+        of the scalar sequence are not produced.  Callers that consult the
+        estimate after every single activation must use :meth:`increment`.
+        """
+        if not self._use_numpy:
+            for key in keys:
+                self.increment(int(key), amount)
+            return
+        key_arr = _np.asarray(keys, dtype=_np.uint64)
+        for row in range(self.depth):
+            indices = (_mix_batch(key_arr, self._seeds[row]) % _np.uint64(self.width)).astype(_np.int64)
+            _np.add.at(self._rows[row], indices, amount)
+
+    def estimate_batch(self, keys):
+        """Vectorized :meth:`estimate`; returns one estimate per key."""
+        if not self._use_numpy:
+            return [self.estimate(int(key)) for key in keys]
+        key_arr = _np.asarray(keys, dtype=_np.uint64)
+        estimates = None
+        for row in range(self.depth):
+            indices = (_mix_batch(key_arr, self._seeds[row]) % _np.uint64(self.width)).astype(_np.int64)
+            values = self._rows[row][indices]
+            estimates = values if estimates is None else _np.minimum(estimates, values)
+        return estimates
+
     def reset(self) -> None:
+        if self._use_numpy:
+            for row in self._rows:
+                row.fill(0)
+            return
         for row in self._rows:
             for index in range(self.width):
                 row[index] = 0
@@ -100,7 +176,6 @@ class MisraGriesSummary:
         self.num_banks = num_banks
         self.spillover = 0
         self._entries: dict[int, MisraGriesEntry] = {}
-        self._unplaced_since_spill = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -119,6 +194,24 @@ class MisraGriesSummary:
         spillover counter) and ``counted`` says whether the entry's counter
         was actually incremented (the per-bank bit-vector suppresses the first
         activation seen from each bank).
+
+        Per-bank bit-vector semantics (the ABACUS RAC + SAV formulation):
+        ``count`` models the Row Activation Counter, which tracks the
+        *maximum* activation count any sibling bank has reached for this row
+        identifier, and ``bank_bits`` models the Sibling Activation Vector,
+        which records the banks that have caught up to that maximum.  An
+        activation from a bank whose SAV bit is clear only sets the bit -- the
+        bank is catching up to a count another bank already reached, so the
+        maximum is unchanged.  An activation from a bank whose bit is already
+        set pushes that bank *past* the recorded maximum: the counter
+        increments and the SAV collapses to just that bank's bit, because it
+        is now the only bank at the new maximum.  Discarding the other banks'
+        pending bits on the collapse is therefore intentional, not lossy:
+        those banks were at the previous count level and must set their bit
+        again (one suppressed activation each) before they can advance the
+        counter.  This keeps the RAC equal to the per-bank maximum (the
+        quantity the mitigation threshold must bound) while charging each
+        bank's activations at most once per count level.
         """
         bank_bit = 1 << bank_index
         entry = self._entries.get(row_id)
@@ -152,7 +245,6 @@ class MisraGriesSummary:
         # spillover counter.  Streaming over distinct row identifiers therefore
         # advances it roughly once per ``capacity + 1`` activations, which is
         # the overflow rate the ABACUS Perf-Attack exploits.
-        self._unplaced_since_spill += 1
         self.spillover += 1
         return None, False
 
@@ -166,7 +258,6 @@ class MisraGriesSummary:
     def reset(self) -> None:
         self._entries.clear()
         self.spillover = 0
-        self._unplaced_since_spill = 0
 
     @property
     def storage_bits(self) -> int:
@@ -175,15 +266,24 @@ class MisraGriesSummary:
 
 
 class CountingBloomFilter:
-    """Counting Bloom filter used by BlockHammer's blacklisting logic."""
+    """Counting Bloom filter used by BlockHammer's blacklisting logic.
 
-    def __init__(self, num_counters: int, num_hashes: int, seed: int):
+    Array-backed like :class:`CountMinSketch`: counters live in one numpy
+    int64 array when available (``use_numpy=False`` keeps the pure-Python
+    reference list), and bulk updates go through :meth:`increment_batch`.
+    """
+
+    def __init__(self, num_counters: int, num_hashes: int, seed: int, use_numpy: bool | None = None):
         if num_counters < 1 or num_hashes < 1:
             raise ValueError("counters and hashes must be positive")
         self.num_counters = num_counters
         self.num_hashes = num_hashes
         self._seeds = [_mix(seed, 0x2000 + i) for i in range(num_hashes)]
-        self._counters = [0] * num_counters
+        self._use_numpy = (_np is not None) if use_numpy is None else (use_numpy and _np is not None)
+        if self._use_numpy:
+            self._counters = _np.zeros(num_counters, dtype=_np.int64)
+        else:
+            self._counters = [0] * num_counters
 
     def _indices(self, key: int) -> list[int]:
         return [
@@ -192,17 +292,50 @@ class CountingBloomFilter:
         ]
 
     def increment(self, key: int) -> int:
+        counters = self._counters
         estimate = None
         for index in self._indices(key):
-            self._counters[index] += 1
-            value = self._counters[index]
+            value = int(counters[index]) + 1
+            counters[index] = value
             estimate = value if estimate is None else min(estimate, value)
         return estimate or 0
 
     def estimate(self, key: int) -> int:
-        return min(self._counters[index] for index in self._indices(key))
+        counters = self._counters
+        return min(int(counters[index]) for index in self._indices(key))
+
+    def increment_batch(self, keys) -> None:
+        """Apply :meth:`increment` for every key in one shot.
+
+        Final counter state matches the scalar sequence exactly; the
+        intermediate per-key estimates are not produced (see
+        :meth:`CountMinSketch.increment_batch`).
+        """
+        if not self._use_numpy:
+            for key in keys:
+                self.increment(int(key))
+            return
+        key_arr = _np.asarray(keys, dtype=_np.uint64)
+        for i in range(self.num_hashes):
+            indices = (_mix_batch(key_arr, self._seeds[i]) % _np.uint64(self.num_counters)).astype(_np.int64)
+            _np.add.at(self._counters, indices, 1)
+
+    def estimate_batch(self, keys):
+        """Vectorized :meth:`estimate`; returns one estimate per key."""
+        if not self._use_numpy:
+            return [self.estimate(int(key)) for key in keys]
+        key_arr = _np.asarray(keys, dtype=_np.uint64)
+        estimates = None
+        for i in range(self.num_hashes):
+            indices = (_mix_batch(key_arr, self._seeds[i]) % _np.uint64(self.num_counters)).astype(_np.int64)
+            values = self._counters[indices]
+            estimates = values if estimates is None else _np.minimum(estimates, values)
+        return estimates
 
     def reset(self) -> None:
+        if self._use_numpy:
+            self._counters.fill(0)
+            return
         for index in range(self.num_counters):
             self._counters[index] = 0
 

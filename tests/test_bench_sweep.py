@@ -1,0 +1,84 @@
+"""Tests for the sweep benchmark tool's guard rails (not its timings)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from bench_sweep import check_baseline, main, reference_specs  # noqa: E402
+
+from repro.store import SqliteStore
+from repro.store.backend import RunRecord, utc_now
+
+
+class TestReferenceSuite:
+    def test_covers_trackers_attacks_workloads(self):
+        specs = reference_specs(100)
+        assert len(specs) == 12
+        assert {spec.tracker for spec in specs} == {"none", "graphene", "dapper-h"}
+        assert {spec.attack for spec in specs} == {None, "refresh"}
+        assert all(spec.requests_per_core == 100 for spec in specs)
+
+
+class TestWarmStoreRefusal:
+    def _prewarm(self, path):
+        store = SqliteStore(path)
+        store.put(
+            RunRecord(
+                key="k1",
+                scenario={},
+                result={},
+                code_version="x",
+                created_at=utc_now(),
+                elapsed_seconds=0.0,
+            )
+        )
+
+    def test_refuses_non_empty_store(self, tmp_path, capsys):
+        store_path = tmp_path / "wh.sqlite"
+        self._prewarm(store_path)
+        exit_code = main(["--store", str(store_path), "-o", str(tmp_path / "o.json")])
+        assert exit_code == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_empty_existing_store_is_fine_to_open(self, tmp_path):
+        # An existing but empty store must not trip the refusal; only the
+        # refusal check itself is under test, so stop before simulating by
+        # checking that len() of a fresh store is what the guard reads.
+        store_path = tmp_path / "wh.sqlite"
+        assert len(SqliteStore(store_path)) == 0
+
+
+class TestBaselineGate:
+    def test_regression_beyond_tolerance_fails(self):
+        report = {"speedup_batched_vs_scalar": 2.0}
+        baseline = {"speedup_batched_vs_scalar": 4.0}
+        error = check_baseline(report, baseline, max_regression=0.25)
+        assert error is not None
+        assert "regression" in error
+
+    def test_regression_within_tolerance_passes(self):
+        report = {"speedup_batched_vs_scalar": 3.2}
+        baseline = {"speedup_batched_vs_scalar": 4.0}
+        assert check_baseline(report, baseline, max_regression=0.25) is None
+
+    def test_improvement_passes(self):
+        report = {"speedup_batched_vs_scalar": 5.0}
+        baseline = {"speedup_batched_vs_scalar": 4.0}
+        assert check_baseline(report, baseline, max_regression=0.25) is None
+
+    def test_old_schema_baseline_is_skipped(self):
+        report = {"speedup_batched_vs_scalar": 3.0}
+        assert check_baseline(report, {}, max_regression=0.25) is None
+        assert check_baseline({}, {"speedup_batched_vs_scalar": 4.0}, 0.25) is None
+
+    def test_committed_report_gates_itself(self):
+        import json
+
+        committed = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+        report = json.loads(committed.read_text())
+        assert report["engine_parity"] is True
+        assert report["modes"]["warm"]["cache_hit_rate"] == 1.0
+        assert check_baseline(report, report, max_regression=0.25) is None

@@ -50,6 +50,19 @@ class ScriptedTracker(RowHammerTracker):
         return StorageReport()
 
 
+class DoubleDelayTracker(ScriptedTracker):
+    """Tracker double that delays a request at both issue and completion."""
+
+    name = "double-delay"
+
+    def __init__(self, config, throttle_ns=0.0, completion_ns=0.0):
+        super().__init__(config, throttle_ns=throttle_ns)
+        self.completion_ns = completion_ns
+
+    def completion_delay_ns(self, row, completion_ns):
+        return self.completion_ns
+
+
 @pytest.fixture
 def config():
     return baseline_config(nrh=500)
@@ -88,6 +101,22 @@ class TestServicePath:
         slow = throttled.service(_address(config), False, 0.0)
         assert slow >= fast + 9_000.0
         assert throttled.stats.throttled_requests == 1
+
+    def test_double_delay_counts_request_once(self, config):
+        """A request delayed at both issue and completion is one throttled
+        request: ``throttled_requests`` counts requests, not delays."""
+        tracker = DoubleDelayTracker(config, throttle_ns=10_000.0, completion_ns=7_000.0)
+        mc = _controller(config, tracker)
+        mc.service(_address(config), False, 0.0)
+        assert mc.stats.throttled_requests == 1
+        assert mc.stats.throttle_time_ns == pytest.approx(17_000.0)
+
+    def test_completion_only_delay_counts_throttled_request(self, config):
+        tracker = DoubleDelayTracker(config, completion_ns=5_000.0)
+        mc = _controller(config, tracker)
+        mc.service(_address(config), False, 0.0)
+        assert mc.stats.throttled_requests == 1
+        assert mc.stats.throttle_time_ns == pytest.approx(5_000.0)
 
     def test_activation_extension_applied(self, config):
         plain = _controller(config, ScriptedTracker(config))

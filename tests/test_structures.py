@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.crypto.prng import XorShift64
 from repro.trackers.structures import (
     CountMinSketch,
     CountingBloomFilter,
@@ -106,6 +107,88 @@ class TestMisraGries:
             entry = summary.get(key)
             if entry is not None:
                 assert entry.count >= summary.spillover
+
+
+class TestMisraGriesMultiBankSemantics:
+    def test_pinned_multi_bank_sequence(self):
+        """Pin the exact RAC/SAV evolution of a traced multi-bank sequence.
+
+        ``count`` is the per-row maximum over sibling banks, ``bank_bits``
+        the set of banks currently at that maximum.  An activation from a
+        bank whose bit is already set advances the maximum and collapses the
+        vector to that bank alone; a bank with a clear bit only catches up.
+        """
+        summary = MisraGriesSummary(capacity=2, num_banks=4)
+        sequence = [
+            (7, 0), (7, 1), (7, 0), (7, 0), (7, 2),
+            (7, 1), (9, 3), (11, 0), (13, 1), (7, 1),
+        ]
+        expected = [
+            (1, 0b0001, True, 0),    # insert from bank 0
+            (1, 0b0011, False, 0),   # bank 1 catches up: bit only
+            (2, 0b0001, True, 0),    # bank 0 advances; SAV collapses
+            (3, 0b0001, True, 0),
+            (3, 0b0101, False, 0),   # bank 2 catches up
+            (3, 0b0111, False, 0),   # bank 1 catches up
+            (1, 0b1000, True, 0),    # second entry inserted
+            (None, None, False, 1),  # table full, no victim: spillover
+            (2, 0b0010, True, 1),    # evicts the floor entry (row 9)
+            (4, 0b0010, True, 1),    # bank 1 was at the max: advances
+        ]
+        for (row, bank), (count, bits, counted, spill) in zip(sequence, expected):
+            entry, was_counted = summary.observe(row, bank)
+            assert was_counted is counted, (row, bank)
+            assert summary.spillover == spill, (row, bank)
+            if count is None:
+                assert entry is None, (row, bank)
+            else:
+                assert entry.count == count, (row, bank)
+                assert entry.bank_bits == bits, (row, bank)
+
+
+class TestNumpyPurePythonParity:
+    """The numpy-backed structures must match the pure-Python reference."""
+
+    def _keys(self, n=400):
+        rng = XorShift64(0xC0FFEE)
+        return [rng.next_below(10_000) for _ in range(n)]
+
+    def test_count_min_sketch_backends_agree(self):
+        keys = self._keys()
+        np_cms = CountMinSketch(depth=4, width=64, seed=7)
+        py_cms = CountMinSketch(depth=4, width=64, seed=7, use_numpy=False)
+        for key in keys:
+            assert np_cms.increment(key) == py_cms.increment(key)
+        probes = sorted(set(keys))[:50]
+        for key in probes:
+            assert np_cms.estimate(key) == py_cms.estimate(key)
+
+    def test_count_min_sketch_batch_matches_scalar(self):
+        keys = self._keys()
+        batch_cms = CountMinSketch(depth=4, width=64, seed=7)
+        scalar_cms = CountMinSketch(depth=4, width=64, seed=7, use_numpy=False)
+        batch_cms.increment_batch(keys)
+        for key in keys:
+            scalar_cms.increment(key)
+        probes = sorted(set(keys))[:50]
+        assert [int(v) for v in batch_cms.estimate_batch(probes)] == [
+            scalar_cms.estimate(key) for key in probes
+        ]
+
+    def test_counting_bloom_filter_backends_agree(self):
+        keys = self._keys()
+        np_cbf = CountingBloomFilter(num_counters=128, num_hashes=3, seed=11)
+        py_cbf = CountingBloomFilter(
+            num_counters=128, num_hashes=3, seed=11, use_numpy=False
+        )
+        for key in keys:
+            assert np_cbf.increment(key) == py_cbf.increment(key)
+        np_cbf2 = CountingBloomFilter(num_counters=128, num_hashes=3, seed=11)
+        np_cbf2.increment_batch(keys)
+        probes = sorted(set(keys))[:50]
+        assert [int(v) for v in np_cbf2.estimate_batch(probes)] == [
+            py_cbf.estimate(key) for key in probes
+        ]
 
 
 class TestCountingBloomFilter:

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Benchmark the sweep engine: serial vs pooled vs warm-warehouse.
+"""Benchmark the sweep engine: scalar vs batched, serial vs pooled vs warm.
 
 Runs one reference scenario suite (a tracker x attack x workload
-cross-product) three ways and writes the wall-clock and cache accounting to a
+cross-product) four ways and writes the wall-clock and cache accounting to a
 JSON artifact (default ``BENCH_sweep.json``), seeding the repo's performance
 trajectory:
 
+``scalar_serial``
+    Cold, cache-less, single-process execution on the reference *scalar*
+    engine -- the pre-batching cost of simulating the suite.
 ``serial``
-    Cold, cache-less, single-process execution -- the baseline cost of
-    simulating the suite.
+    The same cold single-process execution on the default batched engine.
+    The two serial modes must produce bit-identical results; the benchmark
+    asserts this on every run.
 ``pool``
     Cold execution fanned out over ``--jobs`` worker processes, filling the
     SQLite warehouse as results land.
@@ -20,15 +24,22 @@ Usage::
 
     PYTHONPATH=src python tools/bench_sweep.py --jobs 4 -o BENCH_sweep.json
 
-The reference suite is intentionally small enough for CI (a few minutes
-serial) while still exercising baseline dedup, the process pool, and both
-attack and benign scenarios.
+With ``--baseline committed.json`` the run additionally gates against a
+committed report: the run fails if the batched engine's serial-mode speedup
+over the scalar reference regressed by more than ``--max-regression``
+(default 25%).  The speedup ratio is used rather than raw seconds so the
+gate is insensitive to how fast the machine running the check happens to be.
+
+The reference suite is intentionally small enough for CI while still
+exercising baseline dedup, the process pool, and both attack and benign
+scenarios.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -39,6 +50,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.scenarios import family_by_name                    # noqa: E402
 from repro.sim.sweep import CODE_VERSION, SweepRunner         # noqa: E402
 from repro.store import SqliteStore                           # noqa: E402
+
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
 def reference_specs(requests_per_core: int):
@@ -55,10 +68,20 @@ def reference_specs(requests_per_core: int):
     )
 
 
-def _run_mode(specs, runner: SweepRunner) -> dict:
-    started = time.perf_counter()
-    outcomes = runner.run(specs)
-    elapsed = time.perf_counter() - started
+def _run_mode(specs, runner: SweepRunner, engine: str | None = None) -> tuple[dict, list]:
+    previous = os.environ.get(_ENGINE_ENV)
+    if engine is not None:
+        os.environ[_ENGINE_ENV] = engine
+    try:
+        started = time.perf_counter()
+        outcomes = runner.run(specs)
+        elapsed = time.perf_counter() - started
+    finally:
+        if engine is not None:
+            if previous is None:
+                os.environ.pop(_ENGINE_ENV, None)
+            else:
+                os.environ[_ENGINE_ENV] = previous
     return {
         "elapsed_seconds": elapsed,
         "scenarios": len(outcomes),
@@ -67,7 +90,30 @@ def _run_mode(specs, runner: SweepRunner) -> dict:
         "cache_misses": runner.stats.cache_misses,
         "cache_hit_rate": runner.stats.hit_rate,
         "baselines_shared": runner.stats.baselines_shared,
-    }
+    }, outcomes
+
+
+def check_baseline(report: dict, baseline: dict, max_regression: float) -> str | None:
+    """Compare a fresh report against a committed baseline report.
+
+    Returns an error message when the batched engine's serial-mode speedup
+    over the scalar reference regressed by more than ``max_regression``
+    (a fraction: 0.25 allows a 25% slowdown), or ``None`` when the run is
+    acceptable.  Reports that predate the speedup field are skipped rather
+    than failed, so the gate cannot break on schema evolution.
+    """
+    current = report.get("speedup_batched_vs_scalar")
+    reference = baseline.get("speedup_batched_vs_scalar")
+    if not current or not reference:
+        return None
+    floor = reference * (1.0 - max_regression)
+    if current < floor:
+        return (
+            f"serial-mode regression: batched-vs-scalar speedup {current:.2f}x "
+            f"is below {floor:.2f}x ({(1.0 - max_regression):.0%} of the "
+            f"committed baseline's {reference:.2f}x)"
+        )
+    return None
 
 
 def main(argv=None) -> int:
@@ -80,7 +126,47 @@ def main(argv=None) -> int:
         default=None,
         help="warehouse path (default: a temporary .sqlite file)",
     )
+    parser.add_argument(
+        "--allow-warm-store",
+        action="store_true",
+        help="proceed even if --store already holds results (the pool/warm "
+        "modes then measure a pre-warmed warehouse; the report is marked)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_sweep.json to gate against (see --max-regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum tolerated serial-mode speedup regression vs --baseline "
+        "(fraction, default 0.25 = 25%%)",
+    )
     args = parser.parse_args(argv)
+
+    store_prewarmed = False
+    if args.store is not None:
+        store_path = Path(args.store)
+        if store_path.exists():
+            existing = len(SqliteStore(store_path))
+            if existing:
+                if not args.allow_warm_store:
+                    print(
+                        f"ERROR: store {store_path} already holds {existing} "
+                        "results; the pool and warm modes would measure cache "
+                        "hits instead of simulation cost.  Point --store at a "
+                        "fresh path, or pass --allow-warm-store to benchmark "
+                        "against the pre-warmed warehouse anyway.",
+                        file=sys.stderr,
+                    )
+                    return 2
+                store_prewarmed = True
+                print(
+                    f"note: store {store_path} holds {existing} results; "
+                    "pool/warm modes measure a pre-warmed warehouse"
+                )
 
     specs = reference_specs(args.requests)
     print(f"reference suite: {len(specs)} scenarios, "
@@ -89,19 +175,43 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         store_path = Path(args.store) if args.store else Path(tmp) / "wh.sqlite"
 
-        serial = _run_mode(specs, SweepRunner(jobs=1))
+        scalar_serial, scalar_outcomes = _run_mode(
+            specs, SweepRunner(jobs=1), engine="scalar"
+        )
+        print(f"scalar serial: {scalar_serial['elapsed_seconds']:.1f}s "
+              f"({scalar_serial['cache_misses']} simulations)")
+
+        serial, batched_outcomes = _run_mode(
+            specs, SweepRunner(jobs=1), engine="batched"
+        )
         print(f"serial: {serial['elapsed_seconds']:.1f}s "
               f"({serial['cache_misses']} simulations)")
 
+        mismatched = [
+            outcome.spec.tracker
+            for outcome, reference in zip(batched_outcomes, scalar_outcomes)
+            if outcome.result.to_dict() != reference.result.to_dict()
+        ]
+        if mismatched:
+            print(
+                "ERROR: batched engine diverged from the scalar reference "
+                f"on: {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return 1
+
         store = SqliteStore(store_path)
-        pool = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
+        pool, _ = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
         pool["jobs"] = args.jobs
         print(f"pool x{args.jobs}: {pool['elapsed_seconds']:.1f}s "
               f"({pool['cache_misses']} simulations)")
 
-        warm = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
+        warm, _ = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
         print(f"warm warehouse: {warm['elapsed_seconds']:.2f}s "
               f"(hit rate {warm['cache_hit_rate']:.0%})")
+
+    def _ratio(numerator, denominator):
+        return numerator / denominator if denominator > 0 else None
 
     report = {
         "benchmark": "sweep-engine",
@@ -110,26 +220,47 @@ def main(argv=None) -> int:
             "scenarios": len(specs),
             "requests_per_core": args.requests,
         },
-        "modes": {"serial": serial, "pool": pool, "warm": warm},
-        "speedup_pool_vs_serial": (
-            serial["elapsed_seconds"] / pool["elapsed_seconds"]
-            if pool["elapsed_seconds"] > 0
-            else None
+        "store_prewarmed": store_prewarmed,
+        "engine_parity": True,
+        "modes": {
+            "scalar_serial": scalar_serial,
+            "serial": serial,
+            "pool": pool,
+            "warm": warm,
+        },
+        "speedup_batched_vs_scalar": _ratio(
+            scalar_serial["elapsed_seconds"], serial["elapsed_seconds"]
         ),
-        "speedup_warm_vs_serial": (
-            serial["elapsed_seconds"] / warm["elapsed_seconds"]
-            if warm["elapsed_seconds"] > 0
-            else None
+        "speedup_pool_vs_serial": _ratio(
+            serial["elapsed_seconds"], pool["elapsed_seconds"]
+        ),
+        "speedup_warm_vs_serial": _ratio(
+            serial["elapsed_seconds"], warm["elapsed_seconds"]
         ),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if report["speedup_batched_vs_scalar"]:
+        print(f"batched vs scalar (serial): "
+              f"{report['speedup_batched_vs_scalar']:.2f}x")
 
     if warm["cache_hit_rate"] < 1.0:
         print("ERROR: warm warehouse run was not fully cached", file=sys.stderr)
         return 1
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        error = check_baseline(report, baseline, args.max_regression)
+        if error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            return 3
+        reference = baseline.get("speedup_batched_vs_scalar")
+        if reference:
+            print(f"baseline gate passed (committed speedup {reference:.2f}x)")
+
     return 0
 
 
