@@ -41,6 +41,17 @@ without writing Python:
     Query and maintain the warehouse directly: filter/aggregate stored runs,
     export CSV/JSON, import a legacy JSON cache directory, and delete
     records from older simulator code versions.
+``python -m repro.cli obs trace --tracker graphene --attack refresh -o t.json``
+    Run one fully instrumented scenario: write a Chrome/Perfetto trace of the
+    cycle-domain events, sample the metrics time-series, print the pipeline
+    profile, and optionally persist everything to a warehouse (``--store``).
+    ``--suite FILE --index N`` instruments a suite scenario instead
+    (see docs/observability.md).
+``python -m repro.cli store metrics --store warehouse.sqlite --key PREFIX``
+    Inspect (or export) the metrics time-series stored next to a run.
+
+Global ``-v`` / ``-q`` flags raise or lower log verbosity (progress and
+diagnostics go to stderr through :mod:`logging`; results stay on stdout).
 
 Running sweeps
 --------------
@@ -66,7 +77,9 @@ Exit codes: 0 on success, 2 for unknown tracker/attack/workload names.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import logging
 import sys
 import time
 
@@ -98,6 +111,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAPPER (HPCA 2025) reproduction command-line interface",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more log output on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less log output on stderr (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -295,6 +322,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replace the saved manifest when the scenario set changed",
     )
+    campaign_run.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="record per-run peak memory with tracemalloc (slows simulation "
+        "down severalfold; strictly opt-in)",
+    )
     campaign_status_p = campaign_sub.add_parser(
         "status", help="completion state of a saved campaign"
     )
@@ -401,6 +434,115 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="only count the records that would be deleted",
+    )
+    store_metrics = store_sub.add_parser(
+        "metrics",
+        help="inspect the metrics time-series stored next to a run",
+    )
+    _store_argument(store_metrics)
+    store_metrics.add_argument(
+        "--key",
+        default=None,
+        help="run key (a unique prefix is enough)",
+    )
+    store_metrics.add_argument(
+        "--metric",
+        default=None,
+        help="only this metric (default: every series of the run)",
+    )
+    store_metrics.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_keys",
+        help="list the run keys that have metrics stored",
+    )
+    store_metrics.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="output path ('-' prints an aligned table)",
+    )
+    store_metrics.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default=None,
+        help="export format (default: from the output suffix)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="instrumented runs: cycle-domain traces, metrics time-series "
+        "and pipeline profiles",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="run one fully instrumented scenario and write a "
+        "Chrome/Perfetto trace",
+    )
+    obs_trace.add_argument(
+        "--tracker", default="dapper-h", choices=available_trackers()
+    )
+    obs_trace.add_argument("--workload", default="429.mcf")
+    obs_trace.add_argument("--attack", default=None)
+    obs_trace.add_argument("--nrh", type=int, default=500)
+    obs_trace.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="per-core request budget (default 4000; with --suite, "
+        "overrides the suite's own budget)",
+    )
+    obs_trace.add_argument("--seed", type=int, default=None)
+    obs_trace.add_argument(
+        "--trefw-scale",
+        type=float,
+        default=1.0 / 16.0,
+        help="refresh-window scale used for short simulation windows",
+    )
+    obs_trace.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default=None,
+        help="simulation engine (default: REPRO_SIM_ENGINE or batched); "
+        "both are bit-identical, instrumented or not",
+    )
+    obs_trace.add_argument(
+        "--suite",
+        default=None,
+        help="instrument a scenario from a YAML/JSON suite file instead of "
+        "building one from the flags",
+    )
+    obs_trace.add_argument(
+        "--index",
+        type=int,
+        default=0,
+        help="scenario index within --suite (default 0)",
+    )
+    obs_trace.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="Chrome-trace output path (load it in Perfetto or "
+        "chrome://tracing)",
+    )
+    obs_trace.add_argument(
+        "--metrics-interval-ns",
+        type=float,
+        default=100_000.0,
+        help="metrics sampling interval in simulated nanoseconds",
+    )
+    obs_trace.add_argument(
+        "--max-events",
+        type=int,
+        default=1_000_000,
+        help="trace event cap (excess events are counted, not recorded)",
+    )
+    obs_trace.add_argument(
+        "--store",
+        default=None,
+        help="also persist the run and its metrics time-series to this "
+        "warehouse",
     )
 
     sub.add_parser("list-attacks", help="list the available attack kernels")
@@ -738,21 +880,6 @@ def _open_store(target: str):
     return store
 
 
-def _print_campaign_progress(progress) -> None:
-    eta = (
-        f"eta {progress.eta_seconds:.0f}s"
-        if progress.eta_seconds is not None
-        else "eta n/a"
-    )
-    print(
-        f"[{progress.name}] batch {progress.batch}/{progress.batches}  "
-        f"{progress.simulations_done}/{progress.simulations_total} simulations "
-        f"({progress.percent:.0f}%)  executed {progress.executed}  "
-        f"elapsed {progress.elapsed_seconds:.1f}s  {eta}",
-        flush=True,
-    )
-
-
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.scenarios import load_suite
     from repro.store import (
@@ -776,14 +903,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 batch_size=args.batch_size,
                 source=str(args.suite),
                 description=suite.description,
+                track_memory=args.track_memory,
             )
         except ValueError as error:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
         try:
-            summary = campaign.run(
-                progress=_print_campaign_progress, force=args.force
-            )
+            # Batch progress/ETA is logged by Campaign.run itself (tune with
+            # the global -v / -q flags).
+            summary = campaign.run(force=args.force)
         except ValueError as error:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
@@ -819,6 +947,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"simulations   : {status.simulations_stored}/"
               f"{status.simulations_total} stored ({status.percent:.0f}%)")
         print(f"state         : {'complete' if status.complete else 'resumable'}")
+        profile = status.last_run_profile
+        if profile:
+            utilization = float(profile.get("utilization") or 0.0)
+            print(
+                f"last run      : {profile.get('executed')} executed over "
+                f"{profile.get('workers')} worker(s), "
+                f"pool utilization {utilization * 100.0:.0f}% "
+                f"({profile.get('finished_at')})"
+            )
         return 0
 
     if args.campaign_command == "list":
@@ -934,6 +1071,42 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(format_table(rows))
         return 0
 
+    if args.store_command == "metrics":
+        keys = sorted(store.metrics_keys())
+        if args.list_keys:
+            for key in keys:
+                print(key)
+            return 0
+        if not args.key:
+            print("store: metrics needs --key (or --list)", file=sys.stderr)
+            return 2
+        matches = [key for key in keys if key.startswith(args.key)]
+        if len(matches) != 1:
+            problem = (
+                f"{len(matches)} stored runs match"
+                if matches
+                else "no stored metrics match"
+            )
+            print(
+                f"store: {problem} key prefix {args.key!r} "
+                "(store metrics --list shows the keys)",
+                file=sys.stderr,
+            )
+            return 2
+        series = store.get_metrics(matches[0], metric=args.metric)
+        rows = [
+            {"metric": name, "t_ns": t_ns, "value": value}
+            for name, points in sorted(series.items())
+            for t_ns, value in points
+        ]
+        if args.output == "-" and args.format is None:
+            print(format_table(rows))
+            return 0
+        export_rows(rows, args.output, format=args.format)
+        if args.output != "-":
+            print(f"wrote {args.output} ({len(rows)} rows)")
+        return 0
+
     if args.store_command == "import":
         from pathlib import Path
 
@@ -964,6 +1137,102 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(
         f"unhandled store command {args.store_command}"
     )  # pragma: no cover
+
+
+def _obs_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """The scenario ``obs trace`` instruments: suite entry or ad-hoc flags."""
+    if args.suite is not None:
+        from repro.scenarios import load_suite
+
+        suite = load_suite(args.suite)
+        specs = suite.compile()
+        if not 0 <= args.index < len(specs):
+            raise ValueError(
+                f"--index {args.index} out of range: suite {suite.name!r} "
+                f"has {len(specs)} scenario(s)"
+            )
+        spec = specs[args.index]
+        if args.requests is not None:
+            spec = dataclasses.replace(spec, requests_per_core=args.requests)
+        return spec
+    config = baseline_config(nrh=args.nrh).with_refresh_window_scale(
+        args.trefw_scale
+    )
+    return ScenarioSpec(
+        tracker=args.tracker,
+        workload=args.workload,
+        attack=args.attack,
+        seed=args.seed,
+        requests_per_core=args.requests if args.requests is not None else 4_000,
+        config=config,
+    )
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsSampler, PipelineProfiler, Probe, TraceRecorder
+
+    if args.obs_command != "trace":  # pragma: no cover
+        raise AssertionError(f"unhandled obs command {args.obs_command}")
+    try:
+        spec = _obs_spec(args)
+        trace = TraceRecorder(max_events=args.max_events)
+        metrics = MetricsSampler(interval_ns=args.metrics_interval_ns)
+        profiler = PipelineProfiler()
+    except ValueError as error:
+        print(f"obs: {error}", file=sys.stderr)
+        return 2
+    probe = Probe(trace=trace, metrics=metrics, profiler=profiler)
+    result = run_workload(
+        config=spec.resolved_config(),
+        tracker=spec.tracker,
+        workload=spec.workload if spec.core_plan is not None
+        else spec.resolved_workload(),
+        attack=spec.attack,
+        requests_per_core=spec.requests_per_core,
+        seed=spec.resolved_seed(),
+        enable_auditor=spec.enable_auditor,
+        attack_warmup_activations=spec.attack_warmup_activations,
+        llc_warmup_accesses=spec.llc_warmup_accesses,
+        core_plan=spec.core_plan,
+        engine=args.engine,
+        probe=probe,
+    )
+
+    trace.write(args.output)
+    dropped = f", {trace.dropped} dropped" if trace.dropped else ""
+    print(f"trace    : {args.output} ({len(trace.events)} events{dropped})")
+    print(
+        f"metrics  : {len(metrics.series)} series, {metrics.samples} samples "
+        f"(every {args.metrics_interval_ns:g} simulated ns)"
+    )
+    report = profiler.report()
+    print(f"profile  : {report['total_seconds']:.3f}s wall")
+    for name, stage in report["stages"].items():
+        print(
+            f"  {name:<16} {stage['seconds']:8.3f}s "
+            f"({stage['fraction'] * 100.0:5.1f}%)"
+        )
+    print(
+        f"scenario : {json.dumps(spec.describe(), sort_keys=True)}"
+    )
+    print(
+        f"result   : {result.dram_stats.activations} activations, "
+        f"{result.tracker_stats.mitigations_issued} mitigations"
+    )
+
+    if args.store:
+        from repro.sim.sweep import ResultCache
+
+        try:
+            cache = ResultCache(args.store)
+        except ValueError as error:
+            print(f"obs: {error}", file=sys.stderr)
+            return 2
+        key = spec.cache_key()
+        cache.store(key, spec, result)
+        cache.backend.put_metrics(key, metrics.to_rows())
+        print(f"stored   : {key[:16]}... in {args.store}")
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -1023,8 +1292,35 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(verbose: int, quiet: int) -> None:
+    """Map the global -v/-q counters onto the root logger.
+
+    Results stay on stdout (plain ``print``); progress and diagnostics go to
+    stderr through :mod:`logging`, so piping a command's output somewhere
+    never captures its chatter.  The default level is INFO -- campaign batch
+    progress stays visible without any flag.
+    """
+    noise = verbose - quiet
+    if noise > 0:
+        level = logging.DEBUG
+    elif noise == 0:
+        level = logging.INFO
+    elif noise == -1:
+        level = logging.WARNING
+    else:
+        level = logging.ERROR
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    # Replace (don't append) so repeated main() calls in one process -- the
+    # test suite, notebooks -- never double-print.
+    logger.handlers[:] = [handler]
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     if args.command == "list-trackers":
         return _cmd_list_trackers()
     if args.command == "list-workloads":
@@ -1045,6 +1341,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

@@ -20,6 +20,7 @@ when periodic structure resets and DAPPER's re-keying happen.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.config import SystemConfig
 from repro.dram.address import AddressMapper, BankAddress, RowAddress
@@ -61,6 +62,10 @@ class MemoryController:
         self.mapper = mapper or AddressMapper(config.dram)
         self.auditor = auditor
         self.stats = ControllerStats()
+        # Optional instrumentation probe (repro.obs); attached by the
+        # simulator after warm-up.  None keeps every hook site below a
+        # single pointer comparison.
+        self.probe = None
         self._last_refresh_window = 0
         # Conservative lower bound (1 ns of slack for float rounding) on the
         # first timestamp at which a new refresh window starts; requests
@@ -143,12 +148,15 @@ class MemoryController:
         if self._tracker_notes_source:
             tracker.note_request_source(core_id)
 
+        probe = self.probe
         throttled = False
         if self._tracker_throttles:
             delay = tracker.throttle_delay_ns(row_addr, earliest_ns)
             if delay > 0.0:
                 throttled = True
                 stats.throttle_time_ns += delay
+                if probe is not None:
+                    probe.on_throttle(core_id, delay, earliest_ns)
                 earliest_ns += delay
 
         extra_act = (
@@ -163,6 +171,10 @@ class MemoryController:
             earliest_ns,
             extra_act,
         )
+        if probe is not None:
+            probe.on_dram_access(
+                bank_index, row, is_write, completion_ns, activated, row_hit
+            )
 
         if activated:
             if self.auditor is not None:
@@ -216,6 +228,9 @@ class MemoryController:
         trigger: RowAddress,
         now_ns: float,
     ) -> None:
+        probe = self.probe
+        prof = probe.profiler if probe is not None else None
+        started = perf_counter() if prof is not None else 0.0
         channel = trigger.bank.channel
         rank = trigger.bank.rank
 
@@ -225,12 +240,18 @@ class MemoryController:
         for _ in range(response.counter_writes):
             self.dram.counter_access(channel, rank, now_ns, is_write=True)
             self.stats.tracker_counter_accesses += 1
+        if probe is not None and (response.counter_reads or response.counter_writes):
+            probe.on_counter_traffic(
+                response.counter_reads, response.counter_writes, now_ns
+            )
 
         blast_radius = self.config.rowhammer.blast_radius
         command = self.config.rowhammer.mitigation_command
         for aggressor in response.mitigations:
             self.dram.victim_refresh(aggressor, blast_radius, command, now_ns)
             self.stats.mitigation_refreshes += 1
+            if probe is not None:
+                probe.on_mitigation(aggressor, now_ns)
             if self.auditor is not None:
                 self.auditor.on_mitigation(aggressor, blast_radius)
 
@@ -240,6 +261,8 @@ class MemoryController:
         for blackout in response.blackouts:
             self.dram.apply_blackout(blackout, now_ns)
             self.stats.structure_reset_blackouts += 1
+            if probe is not None:
+                probe.on_blackout(blackout, now_ns)
             # A rank/channel-wide blackout issued by a tracker corresponds to
             # refreshing every row of that scope, so the ground truth resets.
             if self.auditor is not None and blackout.scope in (
@@ -256,6 +279,9 @@ class MemoryController:
                 1, int(blackout.duration_ns / self.config.timings.trfc_ns)
             )
             self.dram.energy.record(CommandKind.REF, refresh_equivalents)
+
+        if prof is not None:
+            prof.add("mitigation-scan", perf_counter() - started)
 
     def _apply_group_mitigation(self, group: GroupMitigation, now_ns: float) -> None:
         """Charge a DAPPER-S style bulk refresh of one row group.
@@ -283,6 +309,8 @@ class MemoryController:
         self.dram.stats.victim_refreshes += group.num_rows
         self.dram.stats.victim_rows_refreshed += group.num_rows * victims_per_row
         self.stats.group_mitigations += 1
+        if self.probe is not None:
+            self.probe.on_group_mitigation(group, now_ns)
         if self.auditor is not None:
             self.auditor.on_group_mitigation(group)
 
@@ -297,6 +325,8 @@ class MemoryController:
             return
         for crossed in range(self._last_refresh_window + 1, window + 1):
             self.tracker.on_refresh_window(crossed, now_ns)
+            if self.probe is not None:
+                self.probe.on_refresh_window(crossed, now_ns)
             if self.auditor is not None:
                 self.auditor.on_refresh_window(crossed)
             self.stats.refresh_windows += 1

@@ -1,0 +1,161 @@
+"""Instrumentation probe: the event vocabulary and the fan-out hub.
+
+The simulator, memory controller, shared LLC and trackers each carry a
+``probe`` attribute that defaults to ``None``.  Every hook site in the hot
+path is guarded by ``if self.probe is not None:`` so the disabled case costs
+one attribute load and a pointer comparison -- nothing is allocated and no
+function is called.  When a :class:`Probe` is attached, events fan out to
+the sinks it was built with (a :class:`~repro.obs.trace.TraceRecorder`, a
+:class:`~repro.obs.metrics.MetricsSampler`, or any other
+:class:`EventSink`).
+
+Instrumented runs stay bit-identical to uninstrumented runs: every sink
+method is read-only with respect to simulation state, and the probe is
+attached only after LLC warm-up so the warm-state memo is unperturbed.
+The batched engine routes serviced requests through the scalar
+``_service_addr`` path while a probe is attached; that path is
+arithmetic-identical to the inlined fast paths (pinned by the engine
+parity tests), so only wall-clock changes, never results.
+"""
+
+from __future__ import annotations
+
+
+class EventSink:
+    """Base class for probe sinks.  Every hook is a documented no-op.
+
+    Subclasses override the events they care about.  All ``on_*`` methods
+    must treat their arguments as read-only: mutating simulation state from
+    a sink would break the bit-identity guarantee.
+    """
+
+    def bind(self, simulator) -> None:
+        """Called once, after warm-up, before the drain loop starts."""
+
+    def on_request(
+        self,
+        core_id: int,
+        issue_ns: float,
+        completion_ns: float,
+        is_write: bool,
+        llc_hit: bool,
+        bypassed: bool,
+    ) -> None:
+        """A request was fully serviced (LLC and/or DRAM)."""
+
+    def on_llc_access(self, core_id: int, hit: bool, is_write: bool) -> None:
+        """The shared LLC looked up one line."""
+
+    def on_dram_access(
+        self,
+        bank_index: int,
+        row: int,
+        is_write: bool,
+        completion_ns: float,
+        activated: bool,
+        row_hit: bool,
+    ) -> None:
+        """The DRAM system serviced one command."""
+
+    def on_throttle(self, core_id: int, delay_ns: float, now_ns: float) -> None:
+        """The tracker imposed a throttle delay on a request."""
+
+    def on_mitigation(self, row_addr, now_ns: float) -> None:
+        """The controller issued a victim-refresh mitigation."""
+
+    def on_group_mitigation(self, group, now_ns: float) -> None:
+        """The controller applied a row-group mitigation."""
+
+    def on_blackout(self, blackout, now_ns: float) -> None:
+        """The controller applied a structure-reset blackout."""
+
+    def on_counter_traffic(self, reads: int, writes: int, now_ns: float) -> None:
+        """A tracker response carried counter read/write DRAM traffic."""
+
+    def on_refresh_window(self, window: int, now_ns: float) -> None:
+        """A tREFW refresh-window boundary was crossed."""
+
+    def on_tracker_insert(self, row: int, count: int, now_ns: float) -> None:
+        """The tracker inserted a new row into its summary table."""
+
+    def on_tracker_evict(self, row: int, now_ns: float) -> None:
+        """The tracker evicted a row from its summary table."""
+
+    def finish(self) -> None:
+        """Called once when the simulation ends."""
+
+
+class Probe(EventSink):
+    """Fan-out hub attached to the simulator and its components.
+
+    Built from up to three planes: a trace sink, a metrics sink, and a
+    pipeline profiler.  The profiler is *not* an event sink -- it measures
+    host wall-time around pipeline stages and is consulted directly by the
+    engines and ``run_workload``.
+    """
+
+    __slots__ = ("trace", "metrics", "profiler", "_sinks")
+
+    def __init__(self, trace=None, metrics=None, profiler=None, extra_sinks=()):
+        self.trace = trace
+        self.metrics = metrics
+        self.profiler = profiler
+        self._sinks = tuple(
+            sink for sink in (trace, metrics, *extra_sinks) if sink is not None
+        )
+
+    def bind(self, simulator) -> None:
+        for sink in self._sinks:
+            sink.bind(simulator)
+
+    def on_request(self, core_id, issue_ns, completion_ns, is_write, llc_hit, bypassed):
+        for sink in self._sinks:
+            sink.on_request(
+                core_id, issue_ns, completion_ns, is_write, llc_hit, bypassed
+            )
+
+    def on_llc_access(self, core_id, hit, is_write):
+        for sink in self._sinks:
+            sink.on_llc_access(core_id, hit, is_write)
+
+    def on_dram_access(self, bank_index, row, is_write, completion_ns, activated, row_hit):
+        for sink in self._sinks:
+            sink.on_dram_access(
+                bank_index, row, is_write, completion_ns, activated, row_hit
+            )
+
+    def on_throttle(self, core_id, delay_ns, now_ns):
+        for sink in self._sinks:
+            sink.on_throttle(core_id, delay_ns, now_ns)
+
+    def on_mitigation(self, row_addr, now_ns):
+        for sink in self._sinks:
+            sink.on_mitigation(row_addr, now_ns)
+
+    def on_group_mitigation(self, group, now_ns):
+        for sink in self._sinks:
+            sink.on_group_mitigation(group, now_ns)
+
+    def on_blackout(self, blackout, now_ns):
+        for sink in self._sinks:
+            sink.on_blackout(blackout, now_ns)
+
+    def on_counter_traffic(self, reads, writes, now_ns):
+        for sink in self._sinks:
+            sink.on_counter_traffic(reads, writes, now_ns)
+
+    def on_refresh_window(self, window, now_ns):
+        for sink in self._sinks:
+            sink.on_refresh_window(window, now_ns)
+
+    def on_tracker_insert(self, row, count, now_ns):
+        for sink in self._sinks:
+            sink.on_tracker_insert(row, count, now_ns)
+
+    def on_tracker_evict(self, row, now_ns):
+        for sink in self._sinks:
+            sink.on_tracker_evict(row, now_ns)
+
+    def finish(self) -> None:
+        for sink in self._sinks:
+            sink.finish()

@@ -1,0 +1,257 @@
+"""Cycle-domain event tracing in the Chrome trace (Perfetto) JSON format.
+
+:class:`TraceRecorder` is an :class:`~repro.obs.probe.EventSink` that turns
+probe events into ``traceEvents`` records viewable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* each core gets its own track of ``X`` (complete) events, one per serviced
+  request, spanning issue to completion and annotated with the LLC outcome;
+* the memory controller track carries ``i`` (instant) events for DRAM row
+  activations, throttle decisions, counter traffic and tREFW window
+  crossings, plus ``X`` events spanning structure-reset blackouts;
+* the tracker track carries instants for mitigations, group mitigations and
+  summary-table inserts/evicts;
+* ``C`` (counter) events sample the LLC hit/miss totals every
+  ``counter_stride`` requests, giving Perfetto a plottable hit-rate series.
+
+Timestamps: the simulator's cycle-domain clock is nanoseconds; Chrome trace
+``ts``/``dur`` are microseconds, so everything is divided by 1000.0 (the
+format accepts fractional microseconds).
+
+The recorder caps itself at ``max_events`` records and counts the overflow
+in :attr:`dropped` -- long simulations degrade gracefully instead of eating
+the host's memory.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.probe import EventSink
+
+#: Synthetic process id for the whole simulated machine.
+PID = 1
+#: Thread-track ids: controller, tracker, then one per core at 100 + core_id.
+TID_CONTROLLER = 1
+TID_TRACKER = 2
+TID_CORE_BASE = 100
+
+
+class TraceRecorder(EventSink):
+    """Record probe events as Chrome-trace JSON."""
+
+    def __init__(self, max_events: int = 1_000_000, counter_stride: int = 64):
+        self.max_events = int(max_events)
+        self.counter_stride = int(counter_stride)
+        self.events: list[dict] = []
+        self.dropped = 0
+        self._cores_seen: set[int] = set()
+        self._last_ns = 0.0
+        self._requests = 0
+
+    # -- helpers --------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def _instant(self, tid: int, name: str, now_ns: float, args: dict | None = None) -> None:
+        event = {
+            "ph": "i",
+            "pid": PID,
+            "tid": tid,
+            "ts": now_ns / 1000.0,
+            "name": name,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # -- EventSink ------------------------------------------------------
+
+    def bind(self, simulator) -> None:
+        self._llc_stats = getattr(simulator.llc, "stats", None)
+
+    def on_request(self, core_id, issue_ns, completion_ns, is_write, llc_hit, bypassed):
+        self._cores_seen.add(core_id)
+        self._last_ns = completion_ns
+        outcome = "bypass" if bypassed else ("hit" if llc_hit else "miss")
+        self._emit(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": TID_CORE_BASE + core_id,
+                "ts": issue_ns / 1000.0,
+                "dur": (completion_ns - issue_ns) / 1000.0,
+                "name": "write" if is_write else "read",
+                "args": {"llc": outcome},
+            }
+        )
+        self._requests += 1
+        if self._requests % self.counter_stride == 0:
+            stats = getattr(self, "_llc_stats", None)
+            if stats is not None:
+                self._emit(
+                    {
+                        "ph": "C",
+                        "pid": PID,
+                        "tid": 0,
+                        "ts": completion_ns / 1000.0,
+                        "name": "llc",
+                        "args": {"hits": stats.hits, "misses": stats.misses},
+                    }
+                )
+
+    def on_dram_access(self, bank_index, row, is_write, completion_ns, activated, row_hit):
+        self._last_ns = completion_ns
+        if activated:
+            self._instant(
+                TID_CONTROLLER,
+                "ACT",
+                completion_ns,
+                {"bank": bank_index, "row": row},
+            )
+
+    def on_throttle(self, core_id, delay_ns, now_ns):
+        self._instant(
+            TID_CONTROLLER,
+            "throttle",
+            now_ns,
+            {"core": core_id, "delay_ns": delay_ns},
+        )
+
+    def on_mitigation(self, row_addr, now_ns):
+        self._instant(TID_TRACKER, "mitigation", now_ns, {"row": str(row_addr)})
+
+    def on_group_mitigation(self, group, now_ns):
+        self._instant(TID_TRACKER, "group-mitigation", now_ns)
+
+    def on_blackout(self, blackout, now_ns):
+        duration_ns = float(getattr(blackout, "duration_ns", 0.0))
+        self._emit(
+            {
+                "ph": "X",
+                "pid": PID,
+                "tid": TID_CONTROLLER,
+                "ts": now_ns / 1000.0,
+                "dur": duration_ns / 1000.0,
+                "name": "blackout",
+                "args": {},
+            }
+        )
+
+    def on_counter_traffic(self, reads, writes, now_ns):
+        self._instant(
+            TID_CONTROLLER,
+            "counter-traffic",
+            now_ns,
+            {"reads": reads, "writes": writes},
+        )
+
+    def on_refresh_window(self, window, now_ns):
+        self._instant(TID_CONTROLLER, "tREFW", now_ns, {"window": window})
+
+    def on_tracker_insert(self, row, count, now_ns):
+        self._instant(TID_TRACKER, "insert", now_ns, {"row": row, "count": count})
+
+    def on_tracker_evict(self, row, now_ns):
+        self._instant(TID_TRACKER, "evict", now_ns, {"row": row})
+
+    # -- output ---------------------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The full Chrome-trace JSON document."""
+        metadata = [
+            _thread_name(TID_CONTROLLER, "memory controller"),
+            _thread_name(TID_TRACKER, "rowhammer tracker"),
+        ]
+        for core_id in sorted(self._cores_seen):
+            metadata.append(_thread_name(TID_CORE_BASE + core_id, f"core {core_id}"))
+        metadata.append(
+            {
+                "ph": "M",
+                "pid": PID,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "repro simulator"},
+            }
+        )
+        return {
+            "traceEvents": metadata + self.events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "dropped_events": self.dropped,
+                "recorded_events": len(self.events),
+            },
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+            handle.write("\n")
+
+
+def _thread_name(tid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "pid": PID,
+        "tid": tid,
+        "name": "thread_name",
+        "args": {"name": name},
+    }
+
+
+def validate_chrome_trace(data, schema) -> list[str]:
+    """Validate ``data`` against a minimal JSON-Schema subset.
+
+    Supports the keywords used by ``tools/trace_schema.json``: ``type``
+    (object / array / string / number / integer / boolean), ``properties``,
+    ``required``, ``items`` and ``enum``.  Returns a list of error strings;
+    an empty list means the document conforms.  Hand-rolled so CI needs no
+    third-party jsonschema dependency.
+    """
+    errors: list[str] = []
+    _validate(data, schema, "$", errors)
+    return errors
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+}
+
+
+def _validate(data, schema, path: str, errors: list[str], max_errors: int = 20) -> None:
+    if len(errors) >= max_errors:
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        if expected == "number":
+            ok = isinstance(data, (int, float)) and not isinstance(data, bool)
+        elif expected == "integer":
+            ok = isinstance(data, int) and not isinstance(data, bool)
+        else:
+            ok = isinstance(data, _TYPES.get(expected, object))
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(data).__name__}")
+            return
+    if "enum" in schema and data not in schema["enum"]:
+        errors.append(f"{path}: {data!r} not in {schema['enum']}")
+        return
+    if isinstance(data, dict):
+        for name in schema.get("required", ()):
+            if name not in data:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in data:
+                _validate(data[name], subschema, f"{path}.{name}", errors, max_errors)
+    if isinstance(data, list) and "items" in schema:
+        for index, item in enumerate(data):
+            if len(errors) >= max_errors:
+                return
+            _validate(item, schema["items"], f"{path}[{index}]", errors, max_errors)

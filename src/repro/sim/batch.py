@@ -44,6 +44,7 @@ import copy
 import heapq
 import os
 from dataclasses import is_dataclass
+from time import perf_counter
 
 from repro.cpu.trace import generator_batch
 from repro.crypto.prng import XorShift64
@@ -301,14 +302,13 @@ class BatchedSimulator(Simulator):
 
     # ------------------------------------------------------------------ #
 
-    def run(self):
+    def _drain(self):
         """Advance every core until all benign budgets are exhausted.
 
-        Identical scheduling semantics to :meth:`Simulator.run`; see the
+        Identical scheduling semantics to :meth:`Simulator._drain`; see the
         module docstring for why the run-batching rule preserves the exact
         global service order.
         """
-        self._warm_llc()
         cores_by_id = {core.core_id: core for core in self.cores}
         benign_pending = {
             core.core_id
@@ -356,6 +356,13 @@ class BatchedSimulator(Simulator):
         apply_response = controller._apply_response
         heappush = heapq.heappush
         heappop = heapq.heappop
+        # With a probe attached, every serviced request routes through the
+        # scalar reference path so hook sites fire; it is arithmetic-identical
+        # to the inlined fast paths (parity-pinned), so only wall-clock --
+        # never the SimulationResult -- changes.
+        probe = self.probe
+        service_addr = self._service_addr
+        prof = probe.profiler if probe is not None else None
 
         sequence = 0
         heap: list[tuple[float, int, int]] = []
@@ -394,7 +401,12 @@ class BatchedSimulator(Simulator):
             while True:
                 if i >= size:
                     core.requests_issued = requests  # refill reads the budget
-                    feed.refill()
+                    if prof is not None:
+                        _t = perf_counter()
+                        feed.refill()
+                        prof.add("generation", perf_counter() - _t)
+                    else:
+                        feed.refill()
                     i = 0
                     size = feed.size
                     gaps = feed.gaps
@@ -417,7 +429,11 @@ class BatchedSimulator(Simulator):
                 instructions += gap
                 requests += 1
 
-                if bypasses:
+                if probe is not None:
+                    completion_ns = service_addr(
+                        core, addresses[i], is_write, issue_ns
+                    )
+                elif bypasses:
                     row = rows[i]
                     flat = flat_banks[i]
                     row_addr = row_cache.get(flat * rows_per_bank + row)
@@ -550,8 +566,6 @@ class BatchedSimulator(Simulator):
                     heappush(heap, (next_ns, sequence, core_id))
                     sequence += 1
                     break
-
-        return self._collect()
 
 
 _ENGINES = {"scalar": Simulator, "batched": BatchedSimulator}

@@ -16,6 +16,7 @@ plans.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.attacks import attack_by_name
@@ -380,6 +381,7 @@ def run_workload(
     llc_warmup_accesses: int = 25_000,
     core_plan: tuple[CoreAssignment, ...] | None = None,
     engine: str | None = None,
+    probe=None,
 ) -> SimulationResult:
     """Run one scenario and return its :class:`SimulationResult`.
 
@@ -391,6 +393,9 @@ def run_workload(
     or the reference ``"scalar"``); both produce bit-identical results, so
     the choice is not part of any cache key.  ``None`` defers to the
     ``REPRO_SIM_ENGINE`` environment variable.
+
+    ``probe`` attaches a :class:`repro.obs.Probe` (tracing / metrics /
+    profiling); instrumentation never changes the result, only wall-clock.
     """
     config = config or baseline_config()
     seed = config.seed if seed is None else seed
@@ -404,18 +409,26 @@ def run_workload(
         profile = _resolve_workload(workload)
         specs = build_core_specs(config, profile, attack, requests_per_core, seed)
     tracker_obj = create_tracker(tracker, config) if isinstance(tracker, str) else tracker
-    if core_plan is not None and attack_warmup_activations > 0:
-        warm_up_tracker_from_plan(
-            tracker_obj, core_plan, config, attack_warmup_activations, seed
-        )
-    elif attack is not None and attack_warmup_activations > 0:
-        warm_up_tracker(tracker_obj, attack, config, attack_warmup_activations, seed)
+    profiler = probe.profiler if probe is not None else None
+    warmup_stage = (
+        profiler.stage("tracker-warmup") if profiler is not None else nullcontext()
+    )
+    with warmup_stage:
+        if core_plan is not None and attack_warmup_activations > 0:
+            warm_up_tracker_from_plan(
+                tracker_obj, core_plan, config, attack_warmup_activations, seed
+            )
+        elif attack is not None and attack_warmup_activations > 0:
+            warm_up_tracker(
+                tracker_obj, attack, config, attack_warmup_activations, seed
+            )
     simulator = engine_class(engine)(
         config,
         tracker_obj,
         specs,
         enable_auditor=enable_auditor,
         llc_warmup_accesses=llc_warmup_accesses,
+        probe=probe,
     )
     return simulator.run()
 

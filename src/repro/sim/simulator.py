@@ -195,14 +195,17 @@ class Simulator:
         core_specs: list[CoreSpec],
         enable_auditor: bool = False,
         llc_warmup_accesses: int = 0,
+        probe=None,
     ):
         """``llc_warmup_accesses`` pre-plays that many accesses per core
         through the shared LLC (tags only, no timing) before measurement, so
         short windows start from a warm steady-state cache instead of a cold
-        one."""
+        one.  ``probe`` is an optional :class:`repro.obs.Probe`; attaching
+        one never changes the :class:`SimulationResult` (only wall-clock)."""
         if not core_specs:
             raise ValueError("at least one core is required")
         self.config = config
+        self.probe = probe
         self.mapper = AddressMapper(config.dram)
         self.llc = SharedLLC(config.llc)
         self.dram = DRAMSystem(config)
@@ -253,7 +256,40 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Advance every core until all benign budgets are exhausted."""
-        self._warm_llc()
+        probe = self.probe
+        profiler = probe.profiler if probe is not None else None
+        try:
+            if profiler is not None:
+                with profiler.stage("llc-warmup"):
+                    self._warm_llc()
+                self._attach_probe()
+                with profiler.stage("drain"):
+                    self._drain()
+                with profiler.stage("collect"):
+                    return self._collect()
+            self._warm_llc()
+            self._attach_probe()
+            self._drain()
+            return self._collect()
+        finally:
+            if probe is not None:
+                probe.finish()
+
+    def _attach_probe(self) -> None:
+        """Wire the probe into every component, after warm-up.
+
+        Attaching after :meth:`_warm_llc` keeps warm-up untraced and lets
+        metric sinks bind to the freshly reset LLC stats object."""
+        probe = self.probe
+        if probe is None:
+            return
+        self.controller.probe = probe
+        self.llc.probe = probe
+        self.tracker.probe = probe
+        probe.bind(self)
+
+    def _drain(self) -> None:
+        """The event loop: pump requests until the benign budgets drain."""
         cores_by_id = {core.core_id: core for core in self.cores}
         benign_pending = {
             core.core_id
@@ -286,23 +322,41 @@ class Simulator:
             heapq.heappush(heap, (core.next_event_time(), sequence, core_id))
             sequence += 1
 
-        return self._collect()
-
     # ------------------------------------------------------------------ #
 
     def _service(self, core: CoreModel, entry, issue_ns: float) -> float:
         """Send one request through the LLC and (on a miss) the DRAM."""
-        if core.generator.bypasses_llc:
-            return self.controller.service(
-                entry.address, entry.is_write, issue_ns, core.core_id
-            )
+        return self._service_addr(core, entry.address, entry.is_write, issue_ns)
 
-        llc_result = self.llc.access(entry.address, entry.is_write, core.core_id)
+    def _service_addr(
+        self, core: CoreModel, address: int, is_write: bool, issue_ns: float
+    ) -> float:
+        """Service one request by address; the shared scalar reference path.
+
+        The batched engine routes through this too whenever a probe is
+        attached, so the hook sites below cover both engines."""
+        probe = self.probe
+        if core.generator.bypasses_llc:
+            completion = self.controller.service(
+                address, is_write, issue_ns, core.core_id
+            )
+            if probe is not None:
+                probe.on_request(
+                    core.core_id, issue_ns, completion, is_write, False, True
+                )
+            return completion
+
+        llc_result = self.llc.access(address, is_write, core.core_id)
         if llc_result.hit:
-            return issue_ns + self.config.llc.hit_latency_ns
+            completion = issue_ns + self.config.llc.hit_latency_ns
+            if probe is not None:
+                probe.on_request(
+                    core.core_id, issue_ns, completion, is_write, True, False
+                )
+            return completion
 
         completion = self.controller.service(
-            entry.address, entry.is_write, issue_ns, core.core_id
+            address, is_write, issue_ns, core.core_id
         )
         if llc_result.writeback and llc_result.evicted_line is not None:
             writeback_address = (
@@ -311,7 +365,12 @@ class Simulator:
             self.controller.service(
                 writeback_address, True, completion, core.core_id
             )
-        return completion + self.config.llc.hit_latency_ns
+        completion += self.config.llc.hit_latency_ns
+        if probe is not None:
+            probe.on_request(
+                core.core_id, issue_ns, completion, is_write, False, False
+            )
+        return completion
 
     def _collect(self) -> SimulationResult:
         core_results = tuple(core.result() for core in self.cores)

@@ -45,8 +45,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import time
+import tracemalloc
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -65,6 +67,8 @@ from repro.sim.simulator import SimulationResult
 #: v2: ControllerStats.throttled_requests counts unique requests (a request
 #: delayed at both issue and completion used to count twice).
 CODE_VERSION = "dapper-sim-v2"
+
+_LOG = logging.getLogger("repro.sweep")
 
 
 @dataclass(frozen=True)
@@ -339,15 +343,31 @@ def _execute_spec(spec: ScenarioSpec) -> dict:
     return result.to_dict()
 
 
-def _execute_spec_timed(spec: ScenarioSpec) -> tuple[dict, float]:
-    """:func:`_execute_spec` plus the wall-clock cost of the simulation.
+def _execute_spec_timed(
+    spec: ScenarioSpec, track_memory: bool = False
+) -> tuple[dict, float, int | None, int]:
+    """:func:`_execute_spec` plus the run's cost accounting.
 
+    Returns ``(payload, elapsed_seconds, peak_memory_bytes, worker_pid)``.
     The timing is recorded next to the result in the warehouse so campaigns
-    can report per-run cost and estimate remaining work.
+    can report per-run cost and estimate remaining work; the pid lets the
+    pool consumer attribute busy time to individual workers.  Peak memory is
+    measured with :mod:`tracemalloc` only when ``track_memory`` is set --
+    tracing allocations slows simulation down severalfold, so it is strictly
+    opt-in and ``None`` otherwise.
     """
+    peak = None
     started = time.perf_counter()
-    payload = _execute_spec(spec)
-    return payload, time.perf_counter() - started
+    if track_memory:
+        tracemalloc.start()
+        try:
+            payload = _execute_spec(spec)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    else:
+        payload = _execute_spec(spec)
+    return payload, time.perf_counter() - started, peak, os.getpid()
 
 
 class ResultCache:
@@ -397,6 +417,7 @@ class ResultCache:
         spec: ScenarioSpec,
         result: SimulationResult,
         elapsed_seconds: float | None = None,
+        peak_memory_bytes: int | None = None,
     ) -> None:
         if not self.enabled:
             return
@@ -409,6 +430,7 @@ class ResultCache:
                 scenario=spec.describe(),
                 result=result.to_dict(),
                 elapsed_seconds=elapsed_seconds,
+                peak_memory_bytes=peak_memory_bytes,
             )
         )
 
@@ -448,11 +470,20 @@ class SweepRunner:
         cache_dir: str | os.PathLike | None = None,
         jobs: int = 1,
         store=None,
+        track_memory: bool = False,
     ):
         self.cache = ResultCache(cache_dir, store=store)
         self.jobs = max(1, int(jobs))
+        self.track_memory = bool(track_memory)
         self.stats = SweepStats()
         self._memory: dict[str, SimulationResult] = {}
+        # Pipeline accounting: simulation seconds attributed to each worker
+        # pid (the runner's own pid for serial execution) and the wall time
+        # spent inside worker pools, from which worker_report() derives
+        # per-worker utilization.
+        self.worker_busy_seconds: dict[int, float] = {}
+        self.pool_wall_seconds: float = 0.0
+        self.pool_workers_used: int = 0
 
     # ------------------------------------------------------------------ #
 
@@ -469,33 +500,70 @@ class SweepRunner:
         items = list(pending.items())
         if not items:
             return
+        _LOG.debug("executing %d pending simulation(s)", len(items))
         if self.jobs == 1 or len(items) == 1:
             payloads = (
-                (key,) + _execute_spec_timed(spec) for key, spec in items
+                (key,) + _execute_spec_timed(spec, self.track_memory)
+                for key, spec in items
             )
         else:
             payloads = self._pool_payloads(items)
-        for key, payload, elapsed in payloads:
+        for key, payload, elapsed, peak, pid in payloads:
+            busy = self.worker_busy_seconds.get(pid, 0.0)
+            self.worker_busy_seconds[pid] = busy + elapsed
             # Round-trip through the serialized form on every path so serial,
             # parallel and cache-replayed sweeps see byte-identical results.
             result = SimulationResult.from_dict(payload)
             self._memory[key] = result
-            self.cache.store(key, pending[key], result, elapsed_seconds=elapsed)
+            self.cache.store(
+                key,
+                pending[key],
+                result,
+                elapsed_seconds=elapsed,
+                peak_memory_bytes=peak,
+            )
 
     def _pool_payloads(
         self, items: list[tuple[str, ScenarioSpec]]
-    ) -> Iterable[tuple[str, dict, float]]:
+    ) -> Iterable[tuple[str, dict, float, int | None, int]]:
         # Never spawn more workers than there is pending work: tiny batches
         # would otherwise pay the fork cost of idle processes.
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_spec_timed, spec): key
-                for key, spec in items
-            }
-            for future in as_completed(futures):
-                payload, elapsed = future.result()
-                yield futures[future], payload, elapsed
+        self.pool_workers_used = max(self.pool_workers_used, workers)
+        started = time.perf_counter()
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_spec_timed, spec, self.track_memory): key
+                    for key, spec in items
+                }
+                for future in as_completed(futures):
+                    payload, elapsed, peak, pid = future.result()
+                    yield futures[future], payload, elapsed, peak, pid
+        finally:
+            self.pool_wall_seconds += time.perf_counter() - started
+
+    def worker_report(self) -> dict | None:
+        """Per-worker busy time and pool utilization, or ``None`` so far.
+
+        Only meaningful after at least one pooled batch: utilization is each
+        worker's simulation-busy seconds divided by the wall time the pool was
+        open times the workers it held, i.e. 1.0 means every worker simulated
+        for the pool's entire lifetime.
+        """
+        if not self.pool_wall_seconds or not self.pool_workers_used:
+            return None
+        capacity = self.pool_wall_seconds * self.pool_workers_used
+        busy = {str(pid): round(seconds, 6)
+                for pid, seconds in sorted(self.worker_busy_seconds.items())}
+        total_busy = sum(self.worker_busy_seconds.values())
+        return {
+            "workers": self.pool_workers_used,
+            "pool_wall_seconds": round(self.pool_wall_seconds, 6),
+            "busy_seconds_by_pid": busy,
+            "total_busy_seconds": round(total_busy, 6),
+            "utilization": round(total_busy / capacity, 6) if capacity else 0.0,
+        }
 
     # ------------------------------------------------------------------ #
 

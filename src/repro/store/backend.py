@@ -46,7 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Current on-disk schema of :class:`SqliteStore` (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Path suffixes that select the SQLite warehouse backend in :func:`open_store`.
 SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
@@ -71,7 +71,9 @@ class RunRecord:
     :class:`~repro.sim.simulator.SimulationResult`; both are plain
     JSON-compatible values.  ``elapsed_seconds`` is the wall-clock cost of the
     simulation that produced the result (``None`` for records imported from
-    caches that predate timing capture).
+    caches that predate timing capture); ``peak_memory_bytes`` the worker's
+    ``tracemalloc`` peak, captured only when memory tracking was requested
+    (it roughly halves simulation speed).
     """
 
     key: str
@@ -79,6 +81,7 @@ class RunRecord:
     scenario: dict
     result: dict
     elapsed_seconds: float | None = None
+    peak_memory_bytes: int | None = None
     created_at: str | None = None
 
     def scenario_field(self, name: str):
@@ -178,6 +181,28 @@ class ResultStore(ABC):
             1 for record in self.records() if record.code_version != keep
         )
 
+    # -- metrics time-series -------------------------------------------- #
+
+    def put_metrics(
+        self, key: str, series: Iterable[tuple[str, float, float]]
+    ) -> None:
+        """Store ``(metric, t_ns, value)`` samples for a run (replace mode).
+
+        The generic implementation is a no-op so backends without a metrics
+        plane keep satisfying the interface; like :meth:`put`, metric writes
+        must never raise on storage failure.
+        """
+
+    def get_metrics(
+        self, key: str, metric: str | None = None
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Stored time-series for a run: ``{metric: [(t_ns, value), ...]}``."""
+        return {}
+
+    def metrics_keys(self) -> set[str]:
+        """Run keys that have metrics stored."""
+        return set()
+
     # -- campaign manifests --------------------------------------------- #
 
     @abstractmethod
@@ -243,6 +268,7 @@ class JsonDirStore(ResultStore):
                 scenario=dict(payload.get("scenario") or {}),
                 result=payload["result"],
                 elapsed_seconds=payload.get("elapsed_seconds"),
+                peak_memory_bytes=payload.get("peak_memory_bytes"),
                 created_at=payload.get("created_at"),
             )
         except (OSError, ValueError, KeyError, TypeError):
@@ -256,6 +282,8 @@ class JsonDirStore(ResultStore):
         }
         if record.elapsed_seconds is not None:
             payload["elapsed_seconds"] = record.elapsed_seconds
+        if record.peak_memory_bytes is not None:
+            payload["peak_memory_bytes"] = record.peak_memory_bytes
         payload["created_at"] = record.created_at or utc_now()
         # Write-then-rename so a crashed or concurrent writer can never leave
         # a half-written file behind under the final name.
@@ -293,7 +321,65 @@ class JsonDirStore(ResultStore):
                 deleted += 1
             except OSError:
                 pass
+            try:
+                self._metrics_path(key).unlink()
+            except OSError:
+                pass
         return deleted
+
+    # -- metrics time-series -------------------------------------------- #
+
+    # Metrics live in their own subdirectory: keys() globs ``*.json`` at the
+    # root, so a sidecar next to the run file would surface as a bogus key.
+    @property
+    def _metrics_dir(self) -> Path:
+        return self.root / "metrics"
+
+    def _metrics_path(self, key: str) -> Path:
+        return self._metrics_dir / f"{key}.json"
+
+    def put_metrics(
+        self, key: str, series: Iterable[tuple[str, float, float]]
+    ) -> None:
+        tmp_path = self._metrics_path(key).with_suffix(f".tmp.{os.getpid()}")
+        try:
+            rows = [
+                [str(metric), float(t_ns), float(value)]
+                for metric, t_ns, value in series
+            ]
+            self._metrics_dir.mkdir(parents=True, exist_ok=True)
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(rows, handle)
+            os.replace(tmp_path, self._metrics_path(key))
+        except (OSError, TypeError, ValueError):
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def get_metrics(
+        self, key: str, metric: str | None = None
+    ) -> dict[str, list[tuple[float, float]]]:
+        try:
+            with open(self._metrics_path(key), encoding="utf-8") as handle:
+                rows = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        series: dict[str, list[tuple[float, float]]] = {}
+        try:
+            for name, t_ns, value in rows:
+                if metric is not None and name != metric:
+                    continue
+                series.setdefault(name, []).append((float(t_ns), float(value)))
+        except (TypeError, ValueError):
+            return {}
+        return series
+
+    def metrics_keys(self) -> set[str]:
+        try:
+            return {path.stem for path in self._metrics_dir.glob("*.json")}
+        except OSError:
+            return set()
 
     # -- campaign manifests --------------------------------------------- #
 
@@ -385,10 +471,63 @@ _V2_STATEMENTS = (
 )
 
 
+#: Metrics time-series DDL (new in v3).  The composite primary key also
+#: serves as the per-run lookup index, so no extra index is needed.
+_METRICS_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS metrics (
+        key TEXT NOT NULL,
+        metric TEXT NOT NULL,
+        t_ns REAL NOT NULL,
+        value REAL NOT NULL,
+        PRIMARY KEY (key, metric, t_ns)
+    )
+    """,
+)
+
+#: v3 DDL: v2 plus per-run peak memory and the metrics time-series table.
+_V3_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        key TEXT PRIMARY KEY,
+        code_version TEXT NOT NULL,
+        scenario TEXT NOT NULL,
+        result TEXT NOT NULL,
+        tracker TEXT,
+        workload TEXT,
+        attack TEXT,
+        nrh INTEGER,
+        seed INTEGER,
+        elapsed_seconds REAL,
+        peak_memory_bytes INTEGER,
+        created_at TEXT NOT NULL
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS runs_by_code_version ON runs (code_version)",
+    "CREATE INDEX IF NOT EXISTS runs_by_scenario ON runs "
+    "(tracker, workload, attack)",
+    """
+    CREATE TABLE IF NOT EXISTS campaigns (
+        name TEXT PRIMARY KEY,
+        created_at TEXT NOT NULL,
+        manifest TEXT NOT NULL
+    )
+    """,
+) + _METRICS_STATEMENTS
+
+
 def create_schema_v1(connection: sqlite3.Connection) -> None:
     """Create the historical v1 schema (used by the migration tests)."""
     connection.executescript(V1_SCHEMA)
     connection.execute("PRAGMA user_version = 1")
+    connection.commit()
+
+
+def create_schema_v2(connection: sqlite3.Connection) -> None:
+    """Create the historical v2 schema (used by the migration tests)."""
+    for statement in _V2_STATEMENTS:
+        connection.execute(statement)
+    connection.execute("PRAGMA user_version = 2")
     connection.commit()
 
 
@@ -421,8 +560,17 @@ def _migrate_v1_to_v2(connection: sqlite3.Connection) -> None:
         connection.execute(statement)
 
 
+def _migrate_v2_to_v3(connection: sqlite3.Connection) -> None:
+    """v2 -> v3: per-run peak memory and the metrics time-series table."""
+    connection.execute(
+        "ALTER TABLE runs ADD COLUMN peak_memory_bytes INTEGER"
+    )
+    for statement in _METRICS_STATEMENTS:
+        connection.execute(statement)
+
+
 #: Migration steps, keyed by the schema version they upgrade *from*.
-MIGRATIONS = {1: _migrate_v1_to_v2}
+MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3}
 
 
 class SqliteStore(ResultStore):
@@ -474,7 +622,7 @@ class SqliteStore(ResultStore):
                     "refusing to touch it"
                 )
             if version == 0:
-                for statement in _V2_STATEMENTS:
+                for statement in _V3_STATEMENTS:
                     self._connection.execute(statement)
             else:
                 while version < SCHEMA_VERSION:
@@ -489,7 +637,7 @@ class SqliteStore(ResultStore):
     # -- run records ---------------------------------------------------- #
 
     def _record_from_row(self, row) -> RunRecord | None:
-        key, code_version, scenario_json, result_json, elapsed, created = row
+        key, code_version, scenario_json, result_json, elapsed, peak, created = row
         try:
             scenario = json.loads(scenario_json)
             result = json.loads(result_json)
@@ -501,12 +649,13 @@ class SqliteStore(ResultStore):
             scenario=scenario if isinstance(scenario, dict) else {},
             result=result,
             elapsed_seconds=elapsed,
+            peak_memory_bytes=peak,
             created_at=created,
         )
 
     _SELECT = (
         "SELECT key, code_version, scenario, result, elapsed_seconds, "
-        "created_at FROM runs"
+        "peak_memory_bytes, created_at FROM runs"
     )
 
     def get(self, key: str) -> RunRecord | None:
@@ -523,8 +672,8 @@ class SqliteStore(ResultStore):
             self._connection.execute(
                 "INSERT OR REPLACE INTO runs (key, code_version, scenario, "
                 "result, tracker, workload, attack, nrh, seed, "
-                "elapsed_seconds, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "elapsed_seconds, peak_memory_bytes, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     record.key,
                     record.code_version,
@@ -536,6 +685,7 @@ class SqliteStore(ResultStore):
                     record.scenario_field("nrh"),
                     record.scenario_field("seed"),
                     record.elapsed_seconds,
+                    record.peak_memory_bytes,
                     record.created_at or utc_now(),
                 ),
             )
@@ -572,8 +722,63 @@ class SqliteStore(ResultStore):
                 "DELETE FROM runs WHERE key = ?", (key,)
             )
             deleted += cursor.rowcount
+            self._connection.execute(
+                "DELETE FROM metrics WHERE key = ?", (key,)
+            )
         self._connection.commit()
         return deleted
+
+    # -- metrics time-series -------------------------------------------- #
+
+    def put_metrics(
+        self, key: str, series: Iterable[tuple[str, float, float]]
+    ) -> None:
+        try:
+            self._connection.execute(
+                "DELETE FROM metrics WHERE key = ?", (key,)
+            )
+            self._connection.executemany(
+                "INSERT INTO metrics (key, metric, t_ns, value) "
+                "VALUES (?, ?, ?, ?)",
+                [
+                    (key, str(metric), float(t_ns), float(value))
+                    for metric, t_ns, value in series
+                ],
+            )
+            self._connection.commit()
+        except (sqlite3.Error, TypeError, ValueError):
+            # Same degrade-to-miss contract as put().
+            try:
+                self._connection.rollback()
+            except sqlite3.Error:  # pragma: no cover - double failure
+                pass
+
+    def get_metrics(
+        self, key: str, metric: str | None = None
+    ) -> dict[str, list[tuple[float, float]]]:
+        sql = "SELECT metric, t_ns, value FROM metrics WHERE key = ?"
+        values: list = [key]
+        if metric is not None:
+            sql += " AND metric = ?"
+            values.append(metric)
+        sql += " ORDER BY metric, t_ns"
+        try:
+            rows = self._connection.execute(sql, values).fetchall()
+        except sqlite3.Error:
+            return {}
+        series: dict[str, list[tuple[float, float]]] = {}
+        for name, t_ns, value in rows:
+            series.setdefault(name, []).append((t_ns, value))
+        return series
+
+    def metrics_keys(self) -> set[str]:
+        try:
+            rows = self._connection.execute(
+                "SELECT DISTINCT key FROM metrics"
+            ).fetchall()
+        except sqlite3.Error:
+            return set()
+        return {row[0] for row in rows}
 
     def query(
         self,

@@ -37,6 +37,7 @@ results from both versions stay in the store, which is what makes
 from __future__ import annotations
 
 import json
+import logging
 import re
 import time
 from collections.abc import Callable, Sequence
@@ -46,6 +47,8 @@ from repro.sim.metrics import slowdown_percent
 from repro.sim.simulator import SimulationResult
 from repro.sim.sweep import CODE_VERSION, ScenarioSpec, SweepRunner
 from repro.store.backend import ResultStore, RunRecord, utc_now
+
+_LOG = logging.getLogger("repro.campaign")
 
 #: Manifest format version (bumped on incompatible manifest changes).
 MANIFEST_VERSION = 1
@@ -179,12 +182,14 @@ class Campaign:
         batch_size: int = 32,
         source: str = "",
         description: str = "",
+        track_memory: bool = False,
     ):
         self.name = validate_campaign_name(name)
         self.specs = list(specs)
         self.store = store
         self.jobs = max(1, int(jobs))
         self.batch_size = max(1, int(batch_size))
+        self.track_memory = bool(track_memory)
         self.manifest = build_manifest(
             name, self.specs, source=source, description=description
         )
@@ -248,27 +253,40 @@ class Campaign:
             pending_specs[offset:offset + self.batch_size]
             for offset in range(0, len(pending_specs), self.batch_size)
         ]
-        runner = SweepRunner(store=self.store, jobs=self.jobs)
+        runner = SweepRunner(
+            store=self.store, jobs=self.jobs, track_memory=self.track_memory
+        )
         executed = 0
         for number, batch in enumerate(batches, start=1):
             executed += runner.ensure(batch)
+            elapsed = time.perf_counter() - started
+            done = len(stored) + executed
+            rate = executed / elapsed if elapsed > 0 else 0.0
+            remaining = len(plan) - done
+            tick = CampaignProgress(
+                name=self.name,
+                batch=number,
+                batches=len(batches),
+                simulations_done=done,
+                simulations_total=len(plan),
+                executed=executed,
+                elapsed_seconds=elapsed,
+                eta_seconds=remaining / rate if rate > 0 else None,
+            )
+            eta = (
+                f"{tick.eta_seconds:.0f}s"
+                if tick.eta_seconds is not None
+                else "unknown"
+            )
+            _LOG.info(
+                "campaign %r: batch %d/%d, %d/%d simulations (%.1f%%), eta %s",
+                tick.name, tick.batch, tick.batches, tick.simulations_done,
+                tick.simulations_total, tick.percent, eta,
+            )
             if progress is not None:
-                elapsed = time.perf_counter() - started
-                done = len(stored) + executed
-                rate = executed / elapsed if elapsed > 0 else 0.0
-                remaining = len(plan) - done
-                progress(
-                    CampaignProgress(
-                        name=self.name,
-                        batch=number,
-                        batches=len(batches),
-                        simulations_done=done,
-                        simulations_total=len(plan),
-                        executed=executed,
-                        elapsed_seconds=elapsed,
-                        eta_seconds=remaining / rate if rate > 0 else None,
-                    )
-                )
+                progress(tick)
+        if executed:
+            self._save_run_profile(runner, executed)
         return CampaignRunSummary(
             name=self.name,
             entries=len(self.manifest["entries"]),
@@ -279,6 +297,25 @@ class Campaign:
             elapsed_seconds=time.perf_counter() - started,
             resumed=resumed,
         )
+
+    def _save_run_profile(self, runner: SweepRunner, executed: int) -> None:
+        """Persist this invocation's worker-pool profile into the manifest.
+
+        Only pooled runs carry a worker report; serial invocations leave the
+        manifest untouched.  The profile is pure bookkeeping -- every result
+        is already committed by the time it is written -- so a campaign's
+        identity (its entry keys) is unaffected.
+        """
+        profile = runner.worker_report()
+        if profile is None:
+            return
+        self.manifest["last_run_profile"] = {
+            "finished_at": utc_now(),
+            "executed": executed,
+            "jobs": self.jobs,
+            **profile,
+        }
+        self.store.save_campaign(self.name, self.manifest)
 
 
 # --------------------------------------------------------------------------- #
@@ -299,6 +336,9 @@ class CampaignStatus:
     simulations_total: int     # unique simulation keys
     simulations_stored: int
     source: str
+    #: Worker-pool profile of the most recent pooled ``campaign run``
+    #: invocation (``None`` for campaigns only ever run serially).
+    last_run_profile: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -332,6 +372,7 @@ def campaign_status(store: ResultStore, name: str) -> CampaignStatus:
         simulations_total=len(keys),
         simulations_stored=len(stored),
         source=str(manifest.get("source") or ""),
+        last_run_profile=manifest.get("last_run_profile"),
     )
 
 
@@ -371,6 +412,7 @@ def _entry_row(entry: dict, record: RunRecord, baseline: RunRecord) -> dict:
         dram_activations=result.dram_stats.activations,
         energy_overhead_percent=result.energy.overhead_vs(base.energy) * 100.0,
         elapsed_seconds=record.elapsed_seconds,
+        peak_memory_bytes=record.peak_memory_bytes,
         code_version=record.code_version,
     )
     return row
@@ -437,7 +479,9 @@ def diff_campaigns(
                 key: value
                 for key, value in row.items()
                 if key not in REPORT_METRICS
-                and key not in ("elapsed_seconds", "code_version")
+                and key not in (
+                    "elapsed_seconds", "peak_memory_bytes", "code_version"
+                )
             }
             indexed[scenario_identity(identity)] = row
         return indexed

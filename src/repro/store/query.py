@@ -56,6 +56,7 @@ def flatten_record(record: RunRecord) -> dict:
         structure_resets=tracker_stats.get("structure_resets"),
         blackout_time_ns=dram.get("blackout_time_ns"),
         elapsed_seconds=record.elapsed_seconds,
+        peak_memory_bytes=record.peak_memory_bytes,
         code_version=record.code_version,
         created_at=record.created_at,
         key=record.key,

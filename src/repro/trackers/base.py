@@ -121,6 +121,10 @@ class RowHammerTracker(abc.ABC):
     #: Human-readable tracker name used by the evaluation harness.
     name: str = "base"
 
+    #: Optional instrumentation probe (repro.obs), attached by the simulator.
+    #: Class attribute so uninstrumented instances carry no per-object cost.
+    probe = None
+
     def __init__(self, config: SystemConfig):
         self.config = config
         self.org = config.dram
@@ -183,6 +187,13 @@ class RowHammerTracker(abc.ABC):
     @abc.abstractmethod
     def storage_report(self) -> StorageReport:
         """Storage cost normalised to one 32GB DDR5 channel."""
+
+    def table_occupancy(self) -> float | None:
+        """Fill fraction of the tracker's summary table, if it has one.
+
+        ``None`` (the default) means "no table to report"; the metrics
+        sampler then omits the ``tracker.table_occupancy`` gauge."""
+        return None
 
     # Helper used by subclasses -----------------------------------------
 

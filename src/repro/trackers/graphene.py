@@ -89,7 +89,20 @@ class GrapheneTracker(RowHammerTracker):
         if table is None:
             table = self._table(row.bank.flat(self.org))
             self._row_table[row] = table
-        entry, _counted = table.observe(row.row, 0)
+        probe = self.probe
+        if probe is None:
+            entry, _counted = table.observe(row.row, 0)
+        else:
+            # Snapshot insert/evict outcomes for the trace without touching
+            # the summary's behaviour: spill_victim mirrors observe's own
+            # replacement scan, and the hooks fire only on a new insertion.
+            tracked = row.row in table
+            victim = None if tracked else table.spill_victim()
+            entry, _counted = table.observe(row.row, 0)
+            if not tracked and entry is not None:
+                if victim is not None:
+                    probe.on_tracker_evict(victim, now_ns)
+                probe.on_tracker_insert(row.row, entry.count, now_ns)
 
         if entry is not None and entry.count >= self.mitigation_threshold:
             self._note_mitigation()
@@ -102,6 +115,13 @@ class GrapheneTracker(RowHammerTracker):
             table.reset()
         self.stats.periodic_resets += 1
         return EMPTY_RESPONSE
+
+    def table_occupancy(self) -> float | None:
+        """Mean fill fraction across the per-bank summaries seen so far."""
+        if not self._tables:
+            return 0.0
+        filled = sum(len(table) for table in self._tables.values())
+        return filled / (len(self._tables) * self.entries_per_bank)
 
     # ------------------------------------------------------------------ #
 

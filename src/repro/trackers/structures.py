@@ -248,6 +248,21 @@ class MisraGriesSummary:
         self.spillover += 1
         return None, False
 
+    def spill_victim(self) -> int | None:
+        """The row id :meth:`observe` would replace for a new key right now.
+
+        Mirrors the replacement scan above exactly (first entry at or below
+        the spillover floor, in insertion order) without mutating anything;
+        ``None`` when the table still has room or no entry is replaceable.
+        Used by the instrumentation layer to report evictions.
+        """
+        if len(self._entries) < self.capacity:
+            return None
+        for candidate_id, candidate in self._entries.items():
+            if candidate.count <= self.spillover:
+                return candidate_id
+        return None
+
     def reset_entry(self, row_id: int) -> None:
         """Reset a mitigated entry's count to the spillover floor."""
         entry = self._entries.get(row_id)

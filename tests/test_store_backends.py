@@ -394,3 +394,172 @@ class TestQueryLayer:
         assert len(store.keys()) == 2
         assert gc_store(store) == 1
         assert store.keys() == {"current"}
+
+
+class TestMetricsPlane:
+    """Schema-v3 metrics time-series: round trip, filters, cleanup."""
+
+    ROWS = [
+        ("llc.hit_rate", 100.0, 0.5),
+        ("llc.hit_rate", 200.0, 0.625),
+        ("mc.requests", 100.0, 10.0),
+        ("mc.requests", 200.0, 24.0),
+    ]
+
+    def _stores(self, tmp_path):
+        return (
+            JsonDirStore(tmp_path / "cache"),
+            SqliteStore(tmp_path / "wh.sqlite"),
+        )
+
+    def test_round_trip_both_backends(self, tmp_path):
+        for store in self._stores(tmp_path):
+            store.put_metrics("k1", self.ROWS)
+            series = store.get_metrics("k1")
+            assert series == {
+                "llc.hit_rate": [(100.0, 0.5), (200.0, 0.625)],
+                "mc.requests": [(100.0, 10.0), (200.0, 24.0)],
+            }
+            assert store.metrics_keys() == {"k1"}
+            assert store.get_metrics("k1", metric="mc.requests") == {
+                "mc.requests": [(100.0, 10.0), (200.0, 24.0)],
+            }
+            assert store.get_metrics("missing") == {}
+
+    def test_put_replaces_previous_series(self, tmp_path):
+        for store in self._stores(tmp_path):
+            store.put_metrics("k1", self.ROWS)
+            store.put_metrics("k1", [("dram.activations", 5.0, 1.0)])
+            assert store.get_metrics("k1") == {
+                "dram.activations": [(5.0, 1.0)],
+            }
+
+    def test_delete_cleans_metrics_up(self, tmp_path):
+        for store in self._stores(tmp_path):
+            store.put(_record())
+            store.put_metrics("k1", self.ROWS)
+            assert store.delete(["k1"]) == 1
+            assert store.get_metrics("k1") == {}
+            assert store.metrics_keys() == set()
+
+    def test_metrics_never_raise_on_bad_rows(self, tmp_path):
+        # Like put(), metric persistence degrades to a no-op on failure.
+        for store in self._stores(tmp_path):
+            store.put_metrics("k1", [("metric", "not-a-number", None)])
+            assert store.get_metrics("k1") == {}
+
+    def test_json_dir_sidecars_do_not_pollute_run_keys(self, tmp_path):
+        store = JsonDirStore(tmp_path / "cache")
+        store.put(_record())
+        store.put_metrics("k1", self.ROWS)
+        assert store.keys() == {"k1"}
+        assert len(store) == 1
+
+
+class TestSchemaV3Migration:
+    def _v2_database(self, tmp_path):
+        from repro.store.backend import create_schema_v2
+
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        create_schema_v2(connection)
+        connection.execute(
+            "INSERT INTO runs (key, code_version, scenario, result, "
+            "tracker, workload, attack, nrh, seed, elapsed_seconds, "
+            "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                "v2-key",
+                CODE_VERSION,
+                json.dumps({"tracker": "graphene", "workload": "429.mcf",
+                            "attack": "refresh", "seed": 3, "nrh": 1000}),
+                json.dumps({"payload": "v2"}),
+                "graphene", "429.mcf", "refresh", 1000, 3, 1.5,
+                "2026-01-01T00:00:00+00:00",
+            ),
+        )
+        connection.commit()
+        connection.close()
+        return path
+
+    def test_v2_database_migrates_and_keeps_data(self, tmp_path):
+        store = SqliteStore(self._v2_database(tmp_path))
+        assert store._schema_version() == SCHEMA_VERSION
+        record = store.get("v2-key")
+        assert record.result == {"payload": "v2"}
+        assert record.elapsed_seconds == 1.5
+        assert record.peak_memory_bytes is None  # v2 had no memory column
+
+    def test_migrated_database_accepts_metrics_and_memory(self, tmp_path):
+        store = SqliteStore(self._v2_database(tmp_path))
+        store.put_metrics("v2-key", [("llc.hit_rate", 10.0, 0.5)])
+        assert store.metrics_keys() == {"v2-key"}
+        store.put(_record(key="new-key"))
+        assert store.get("new-key").peak_memory_bytes is None
+
+    def test_v1_chain_reaches_v3(self, tmp_path):
+        # A v1 database runs both migrations back to back.
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        create_schema_v1(connection)
+        connection.commit()
+        connection.close()
+        store = SqliteStore(path)
+        assert store._schema_version() == SCHEMA_VERSION
+        store.put_metrics("k", [("m", 1.0, 2.0)])
+        assert store.get_metrics("k") == {"m": [(1.0, 2.0)]}
+
+
+class TestPeakMemoryTracking:
+    def test_opt_in_records_peak_memory(self, spec, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        SweepRunner(store=store, track_memory=True).run_one(spec)
+        records = list(store.records())
+        assert records
+        assert all(
+            record.peak_memory_bytes and record.peak_memory_bytes > 0
+            for record in records
+        )
+        row = query_rows(store)[0]
+        assert row["peak_memory_bytes"] > 0
+
+    def test_default_leaves_peak_memory_unset(self, spec, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        SweepRunner(store=store).run_one(spec)
+        assert all(
+            record.peak_memory_bytes is None for record in store.records()
+        )
+
+    def test_results_identical_with_tracking(self, spec, tmp_path):
+        plain = SweepRunner().run_one(spec)
+        tracked = SweepRunner(
+            store=SqliteStore(tmp_path / "wh.sqlite"), track_memory=True
+        ).run_one(spec)
+        assert json.dumps(tracked.result.to_dict(), sort_keys=True) == \
+            json.dumps(plain.result.to_dict(), sort_keys=True)
+
+
+class TestWorkerAccounting:
+    def test_pooled_run_reports_utilization(self, sweep_config):
+        specs = [
+            ScenarioSpec(
+                tracker=tracker,
+                workload="453.povray",
+                attack="refresh",
+                requests_per_core=REQUESTS,
+                config=sweep_config,
+            )
+            for tracker in ("graphene", "dapper-h")
+        ]
+        runner = SweepRunner(jobs=2)
+        runner.run(specs)
+        report = runner.worker_report()
+        assert report is not None
+        assert report["workers"] == 2
+        assert report["total_busy_seconds"] > 0
+        assert 0.0 < report["utilization"] <= 1.0
+        assert report["busy_seconds_by_pid"]
+
+    def test_serial_run_has_no_worker_report(self, spec):
+        runner = SweepRunner()
+        runner.run_one(spec)
+        assert runner.worker_report() is None

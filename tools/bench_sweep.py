@@ -93,6 +93,38 @@ def _run_mode(specs, runner: SweepRunner, engine: str | None = None) -> tuple[di
     }, outcomes
 
 
+def _profile_stages(specs) -> dict[str, float]:
+    """Per-stage wall time of one representative instrumented simulation.
+
+    Picks the first mitigated attack scenario of the suite (the most work per
+    stage) and runs it once with a pipeline profiler attached; the breakdown
+    (generation / warm-up / drain / mitigation scan) lands in the report so
+    stage-level cost shifts show up next to the headline speedups.
+    """
+    from repro.obs import PipelineProfiler, Probe
+    from repro.sim.experiment import run_workload
+
+    spec = next(
+        (s for s in specs if s.tracker != "none" and s.attack), specs[0]
+    )
+    profiler = PipelineProfiler()
+    run_workload(
+        config=spec.resolved_config(),
+        tracker=spec.tracker,
+        workload=spec.resolved_workload(),
+        attack=spec.attack,
+        requests_per_core=spec.requests_per_core,
+        seed=spec.resolved_seed(),
+        attack_warmup_activations=spec.attack_warmup_activations,
+        llc_warmup_accesses=spec.llc_warmup_accesses,
+        probe=Probe(profiler=profiler),
+    )
+    report = profiler.report()
+    return {
+        name: stage["seconds"] for name, stage in report["stages"].items()
+    }
+
+
 def check_baseline(report: dict, baseline: dict, max_regression: float) -> str | None:
     """Compare a fresh report against a committed baseline report.
 
@@ -201,14 +233,24 @@ def main(argv=None) -> int:
             return 1
 
         store = SqliteStore(store_path)
-        pool, _ = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
+        pool_runner = SweepRunner(store=store, jobs=args.jobs)
+        pool, _ = _run_mode(specs, pool_runner)
         pool["jobs"] = args.jobs
+        worker_utilization = pool_runner.worker_report()
         print(f"pool x{args.jobs}: {pool['elapsed_seconds']:.1f}s "
               f"({pool['cache_misses']} simulations)")
 
         warm, _ = _run_mode(specs, SweepRunner(store=store, jobs=args.jobs))
         print(f"warm warehouse: {warm['elapsed_seconds']:.2f}s "
               f"(hit rate {warm['cache_hit_rate']:.0%})")
+
+        stage_times = _profile_stages(specs)
+        top = sorted(
+            stage_times.items(), key=lambda item: item[1], reverse=True
+        )[:3]
+        print("stage times: " + ", ".join(
+            f"{name} {seconds:.2f}s" for name, seconds in top
+        ))
 
     def _ratio(numerator, denominator):
         return numerator / denominator if denominator > 0 else None
@@ -237,6 +279,8 @@ def main(argv=None) -> int:
         "speedup_warm_vs_serial": _ratio(
             serial["elapsed_seconds"], warm["elapsed_seconds"]
         ),
+        "stage_times": stage_times,
+        "worker_utilization": worker_utilization,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by ``repro.cli obs trace``.
+
+Checks the document against the checked-in schema subset
+(``tools/trace_schema.json`` by default) using the dependency-free validator
+in :mod:`repro.obs`, and prints a short summary of the event population.
+Exit codes: 0 when the trace conforms, 1 on validation errors, 2 when the
+trace or schema file cannot be read.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_chrome_trace                   # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome-trace JSON file to validate")
+    parser.add_argument(
+        "--schema",
+        default=str(Path(__file__).resolve().parent / "trace_schema.json"),
+        help="schema file (default: tools/trace_schema.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"ERROR: cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.schema, encoding="utf-8") as handle:
+            schema = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"ERROR: cannot read schema {args.schema}: {error}", file=sys.stderr)
+        return 2
+
+    errors = validate_chrome_trace(trace, schema)
+    if errors:
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(errors)} error(s))", file=sys.stderr)
+        return 1
+
+    events = trace.get("traceEvents", [])
+    phases = Counter(event.get("ph") for event in events)
+    breakdown = ", ".join(
+        f"{count} {phase!r}" for phase, count in sorted(phases.items())
+    )
+    dropped = trace.get("otherData", {}).get("dropped_events", 0)
+    print(f"{args.trace}: OK ({len(events)} events: {breakdown}; "
+          f"{dropped} dropped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
