@@ -37,6 +37,12 @@ without writing Python:
     kill at any point, and re-running executes only the missing scenarios.
     ``campaign status/list/report/diff`` inspect, export and compare saved
     campaigns (see docs/warehouse.md).
+``python -m repro.cli campaign worker <suite.yaml> --store shared.sqlite``
+    Join a campaign as one of N distributed workers: lease shards from the
+    shared warehouse with heartbeats, reclaim the shards of crashed
+    workers, and drain until the campaign is complete.  ``campaign leases``
+    shows the per-shard lease/heartbeat/attempt state (see the
+    "Distributed campaigns" section of docs/warehouse.md).
 ``python -m repro.cli store query/export/import/gc``
     Query and maintain the warehouse directly: filter/aggregate stored runs,
     export CSV/JSON, import a legacy JSON cache directory, and delete
@@ -328,6 +334,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record per-run peak memory with tracemalloc (slows simulation "
         "down severalfold; strictly opt-in)",
     )
+    campaign_worker = campaign_sub.add_parser(
+        "worker",
+        help="join a campaign as one of N lease-based distributed workers "
+        "(run the same command in several processes or hosts)",
+    )
+    campaign_worker.add_argument("suite", help="path of the suite file")
+    campaign_worker.add_argument(
+        "--name",
+        default=None,
+        help="campaign name (default: the suite's own name)",
+    )
+    _store_argument(campaign_worker)
+    campaign_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease holder identity (default <hostname>-<pid>)",
+    )
+    campaign_worker.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to fan this worker's simulations out over",
+    )
+    campaign_worker.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="simulations per leased shard (only the first worker's plan "
+        "is used; later joiners adopt it)",
+    )
+    campaign_worker.add_argument(
+        "--lease-duration",
+        type=float,
+        default=60.0,
+        help="seconds a claimed shard stays leased without a heartbeat "
+        "(expired leases are reclaimed by surviving workers)",
+    )
+    campaign_worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before poison-shard quarantine",
+    )
+    campaign_worker.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="stop after this many shard attempts (default: drain until "
+        "the campaign is complete)",
+    )
+    campaign_worker.add_argument(
+        "--init",
+        action="store_true",
+        help="create the campaign manifest if it does not exist yet "
+        "(without this, joining an unknown campaign is an error)",
+    )
+    campaign_worker.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="record per-run peak memory with tracemalloc (slows simulation "
+        "down severalfold; strictly opt-in)",
+    )
+    campaign_leases = campaign_sub.add_parser(
+        "leases",
+        help="per-shard lease, heartbeat and attempt state of a campaign",
+    )
+    campaign_leases.add_argument("name", help="campaign name")
+    _store_argument(campaign_leases)
     campaign_status_p = campaign_sub.add_parser(
         "status", help="completion state of a saved campaign"
     )
@@ -932,6 +1006,106 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.campaign_command == "worker":
+        from repro.store import CampaignWorker
+
+        try:
+            suite = load_suite(args.suite)
+            specs = suite.compile()
+            store = _open_store(args.store)
+            worker = CampaignWorker(
+                args.name or suite.name,
+                specs,
+                store,
+                worker_id=args.worker_id,
+                jobs=args.jobs,
+                shard_size=args.shard_size,
+                lease_duration=args.lease_duration,
+                max_attempts=args.max_attempts,
+                init=args.init,
+                source=str(args.suite),
+                description=suite.description,
+                track_memory=args.track_memory,
+            )
+            worker.join()
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        try:
+            summary = worker.run(max_shards=args.max_shards)
+        except KeyboardInterrupt:
+            print(
+                f"\nworker {worker.worker_id!r} interrupted -- its shard was "
+                "released and completed simulations are checkpointed; other "
+                "workers (or a rerun) finish the campaign",
+                file=sys.stderr,
+            )
+            return 130
+        print(
+            f"worker {summary.worker_id!r} drained campaign "
+            f"{summary.campaign!r}: {summary.completed}/{summary.shards} "
+            f"shard(s) completed here ({summary.executed} executed, "
+            f"{summary.reclaimed} reclaimed, {summary.lost} lost, "
+            f"{summary.failed} failed) in {summary.elapsed_seconds:.1f}s"
+        )
+        leases = store.lease_summary(worker.name)
+        if leases is not None and leases["quarantined"]:
+            print(
+                f"warning: {leases['quarantined']} shard(s) quarantined "
+                "after repeated failures -- see 'campaign leases' "
+                f"{worker.name}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.campaign_command == "leases":
+        try:
+            store = _open_store(args.store)
+            if not getattr(store, "supports_leases", False):
+                raise ValueError(
+                    "lease state lives in the SQLite warehouse; this store "
+                    "has no lease table"
+                )
+            from repro.store.campaign import load_manifest
+
+            load_manifest(store, args.name)   # unknown campaign -> exit 2
+        except ValueError as error:
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        rows = store.lease_rows(args.name)
+        if not rows:
+            print(
+                f"campaign {args.name!r}: no lease rows (no distributed "
+                "worker has joined it)"
+            )
+            return 0
+        print(format_table([
+            {
+                "shard": row.shard,
+                "keys": len(row.keys),
+                "state": row.state,
+                "worker": row.worker or "-",
+                "deadline": (
+                    f"{row.deadline:.1f}" if row.deadline is not None else "-"
+                ),
+                "heartbeats": row.heartbeats,
+                "attempts": row.attempts,
+                "reclaims": row.reclaims,
+                "last_error": row.last_error or "-",
+            }
+            for row in rows
+        ]))
+        summary = store.lease_summary(args.name)
+        print(
+            f"{summary['done']}/{summary['shards']} shard(s) done, "
+            f"{summary['leased']} leased, {summary['pending']} pending, "
+            f"{summary['quarantined']} quarantined; "
+            f"{summary['reclaims']} reclaim(s) across "
+            f"{len(summary['workers'])} worker(s)"
+        )
+        return 0
+
     if args.campaign_command == "status":
         try:
             status = campaign_status(_open_store(args.store), args.name)
@@ -947,6 +1121,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"simulations   : {status.simulations_stored}/"
               f"{status.simulations_total} stored ({status.percent:.0f}%)")
         print(f"state         : {'complete' if status.complete else 'resumable'}")
+        leases = status.leases
+        if leases:
+            print(
+                f"shards        : {leases['done']}/{leases['shards']} done "
+                f"({leases['leased']} leased, {leases['pending']} pending, "
+                f"{leases['quarantined']} quarantined)"
+            )
+            print(
+                f"reclaimed     : {leases['reclaims']} shard claim(s) took "
+                "over an expired lease"
+            )
+            for name, counts in leases["workers"].items():
+                active = " (active)" if counts["active"] else ""
+                print(
+                    f"worker        : {name}: {counts['completed']} "
+                    f"shard(s) completed{active}"
+                )
         profile = status.last_run_profile
         if profile:
             utilization = float(profile.get("utilization") or 0.0)

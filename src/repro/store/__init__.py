@@ -11,6 +11,10 @@ subsystem with three layers:
 * :mod:`repro.store.campaign` -- resumable campaign orchestration: shard a
   huge scenario batch, checkpoint every completed run, resume with zero
   re-execution, report and diff finished campaigns.
+* :mod:`repro.store.worker` -- distributed campaign drains: N worker
+  processes (one or many hosts) lease shards of the same campaign from the
+  warehouse's ``leases`` table with heartbeats, crash reclaim, bounded
+  attempts and poison-shard quarantine.
 * :mod:`repro.store.query` -- the read side: filter/aggregate stored runs,
   export CSV/JSON, import legacy cache directories, garbage-collect stale
   code versions.
@@ -24,6 +28,7 @@ warehouse.
 from repro.store.backend import (
     SCHEMA_VERSION,
     JsonDirStore,
+    LeaseRow,
     ResultStore,
     RunRecord,
     SqliteStore,
@@ -47,10 +52,18 @@ from repro.store.query import (
     import_store,
     query_rows,
 )
+from repro.store.worker import (
+    CampaignWorker,
+    LeaseLost,
+    WorkerSummary,
+    default_worker_id,
+    manifest_shard_plan,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "JsonDirStore",
+    "LeaseRow",
     "ResultStore",
     "RunRecord",
     "SqliteStore",
@@ -69,4 +82,9 @@ __all__ = [
     "gc_store",
     "import_store",
     "query_rows",
+    "CampaignWorker",
+    "LeaseLost",
+    "WorkerSummary",
+    "default_worker_id",
+    "manifest_shard_plan",
 ]

@@ -32,21 +32,26 @@ to a no-op on storage failure (full disk, locked database) instead of
 raising, because losing a cache write must never lose the in-memory
 simulation result it mirrors.  Campaign-manifest writes, by contrast, *do*
 raise: a campaign that cannot checkpoint is not resumable and must say so.
+The same is true of the warehouse's campaign-*lease* operations (schema v4,
+used by :mod:`repro.store.worker` to let many processes or hosts drain one
+campaign): a claim or heartbeat that failed silently would let two workers
+believe they own the same shard.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import json
 import os
 import sqlite3
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 #: Current on-disk schema of :class:`SqliteStore` (``PRAGMA user_version``).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Path suffixes that select the SQLite warehouse backend in :func:`open_store`.
 SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
@@ -92,6 +97,43 @@ class RunRecord:
         return value
 
 
+@dataclass(frozen=True)
+class LeaseRow:
+    """One shard's lease state inside a distributed campaign drain.
+
+    A *shard* is a fixed slice of a campaign's unique simulation keys; the
+    lease row is the single source of truth about who is draining it.  A
+    shard is ``pending`` until a worker claims it, ``leased`` while a worker
+    holds it (the lease expires at ``deadline``, expressed on the claiming
+    worker's clock), ``done`` once its results are committed, and
+    ``quarantined`` when it has burned through its attempt budget -- the
+    poison-shard exit that keeps one crashing scenario from wedging the
+    whole campaign.  ``reclaimed`` is per-claim bookkeeping (this claim took
+    over an expired lease from a dead worker), not a stored column.
+    """
+
+    campaign: str
+    shard: int
+    keys: tuple[str, ...]
+    state: str
+    worker: str | None
+    deadline: float | None
+    heartbeats: int
+    attempts: int
+    reclaims: int
+    last_error: str | None
+    acquired_at: str | None
+    completed_at: str | None
+    reclaimed: bool = False
+
+
+#: Lease states a shard moves through (see :class:`LeaseRow`).
+LEASE_STATES = ("pending", "leased", "done", "quarantined")
+
+#: Lease states in which no further work will happen on a shard.
+TERMINAL_LEASE_STATES = ("done", "quarantined")
+
+
 class ResultStore(ABC):
     """Persistence interface for completed runs and campaign manifests.
 
@@ -100,6 +142,12 @@ class ResultStore(ABC):
     multi-invocation reality); a single instance is not required to be
     thread-safe.
     """
+
+    #: Whether the backend can coordinate distributed campaign workers.
+    #: Only the SQLite warehouse has the lease table (and the transactional
+    #: claim path leases need); the JSON directory layout cannot provide an
+    #: atomic claim, so ``repro.store.worker`` refuses it up front.
+    supports_leases = False
 
     # -- run records ---------------------------------------------------- #
 
@@ -485,6 +533,31 @@ _METRICS_STATEMENTS = (
     """,
 )
 
+#: Campaign-lease DDL (new in v4).  One row per campaign shard; ``keys`` is
+#: the JSON list of simulation keys the shard covers, persisted so every
+#: worker -- whatever sharding flags it was launched with -- drains the
+#: exact plan the first worker wrote.
+_LEASES_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS leases (
+        campaign TEXT NOT NULL,
+        shard INTEGER NOT NULL,
+        keys TEXT NOT NULL,
+        state TEXT NOT NULL DEFAULT 'pending',
+        worker TEXT,
+        deadline REAL,
+        heartbeats INTEGER NOT NULL DEFAULT 0,
+        attempts INTEGER NOT NULL DEFAULT 0,
+        reclaims INTEGER NOT NULL DEFAULT 0,
+        last_error TEXT,
+        acquired_at TEXT,
+        completed_at TEXT,
+        PRIMARY KEY (campaign, shard)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS leases_by_state ON leases (campaign, state)",
+)
+
 #: v3 DDL: v2 plus per-run peak memory and the metrics time-series table.
 _V3_STATEMENTS = (
     """
@@ -515,6 +588,9 @@ _V3_STATEMENTS = (
     """,
 ) + _METRICS_STATEMENTS
 
+#: v4 DDL: v3 plus the campaign-lease table for distributed workers.
+_V4_STATEMENTS = _V3_STATEMENTS + _LEASES_STATEMENTS
+
 
 def create_schema_v1(connection: sqlite3.Connection) -> None:
     """Create the historical v1 schema (used by the migration tests)."""
@@ -528,6 +604,14 @@ def create_schema_v2(connection: sqlite3.Connection) -> None:
     for statement in _V2_STATEMENTS:
         connection.execute(statement)
     connection.execute("PRAGMA user_version = 2")
+    connection.commit()
+
+
+def create_schema_v3(connection: sqlite3.Connection) -> None:
+    """Create the historical v3 schema (used by the migration tests)."""
+    for statement in _V3_STATEMENTS:
+        connection.execute(statement)
+    connection.execute("PRAGMA user_version = 3")
     connection.commit()
 
 
@@ -569,8 +653,14 @@ def _migrate_v2_to_v3(connection: sqlite3.Connection) -> None:
         connection.execute(statement)
 
 
+def _migrate_v3_to_v4(connection: sqlite3.Connection) -> None:
+    """v3 -> v4: the campaign-lease table for distributed workers."""
+    for statement in _LEASES_STATEMENTS:
+        connection.execute(statement)
+
+
 #: Migration steps, keyed by the schema version they upgrade *from*.
-MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3}
+MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3, 3: _migrate_v3_to_v4}
 
 
 class SqliteStore(ResultStore):
@@ -581,6 +671,8 @@ class SqliteStore(ResultStore):
     one ``INSERT OR REPLACE`` transaction.  The schema version lives in
     ``PRAGMA user_version`` and is migrated forward on open.
     """
+
+    supports_leases = True
 
     def __init__(self, path: str | os.PathLike, timeout: float = 30.0):
         self.path = Path(path)
@@ -622,7 +714,7 @@ class SqliteStore(ResultStore):
                     "refusing to touch it"
                 )
             if version == 0:
-                for statement in _V3_STATEMENTS:
+                for statement in _V4_STATEMENTS:
                     self._connection.execute(statement)
             else:
                 while version < SCHEMA_VERSION:
@@ -860,8 +952,274 @@ class SqliteStore(ResultStore):
         cursor = self._connection.execute(
             "DELETE FROM campaigns WHERE name = ?", (name,)
         )
+        # Lease rows describe work for the deleted manifest; orphaning them
+        # would make a later same-named campaign drain the wrong shard plan.
+        self._connection.execute(
+            "DELETE FROM leases WHERE campaign = ?", (name,)
+        )
         self._connection.commit()
         return cursor.rowcount > 0
+
+    # -- campaign leases ------------------------------------------------ #
+    #
+    # Unlike run-record writes, lease operations are *coordination*: a claim
+    # or heartbeat that silently fails would let two workers drain the same
+    # shard believing they own it, so these methods raise on storage failure
+    # instead of degrading.  Wall-clock values (``now``/``deadline``) are
+    # supplied by the caller, never read here, which keeps every transition
+    # testable under a simulated clock.
+
+    _LEASE_SELECT = (
+        "SELECT campaign, shard, keys, state, worker, deadline, heartbeats, "
+        "attempts, reclaims, last_error, acquired_at, completed_at FROM leases"
+    )
+
+    def _lease_from_row(self, row, reclaimed: bool = False) -> LeaseRow:
+        (campaign, shard, keys_json, state, worker, deadline, heartbeats,
+         attempts, reclaims, last_error, acquired_at, completed_at) = row
+        try:
+            keys = tuple(str(key) for key in json.loads(keys_json))
+        except (ValueError, TypeError):
+            keys = ()
+        return LeaseRow(
+            campaign=campaign,
+            shard=shard,
+            keys=keys,
+            state=state,
+            worker=worker,
+            deadline=deadline,
+            heartbeats=heartbeats,
+            attempts=attempts,
+            reclaims=reclaims,
+            last_error=last_error,
+            acquired_at=acquired_at,
+            completed_at=completed_at,
+            reclaimed=reclaimed,
+        )
+
+    def _begin_immediate(self) -> None:
+        # Take the write lock up front so read-check-update sequences are
+        # serialised across worker processes.  Any implicit transaction a
+        # previous statement left open must be closed first -- sqlite3
+        # refuses nested BEGINs.
+        if self._connection.in_transaction:  # pragma: no cover - defensive
+            self._connection.commit()
+        self._connection.execute("BEGIN IMMEDIATE")
+
+    def init_leases(self, campaign: str, shards: "Sequence[Sequence[str]]") -> int:
+        """Create one pending lease row per shard; first caller wins.
+
+        Idempotent under racing workers: whoever gets the write lock first
+        persists the shard plan, everyone else adopts the existing rows (the
+        stored ``keys`` are authoritative, not the caller's plan).  Returns
+        the number of shard rows the campaign has after the call.
+        """
+        self._begin_immediate()
+        try:
+            existing = self._connection.execute(
+                "SELECT COUNT(*) FROM leases WHERE campaign = ?", (campaign,)
+            ).fetchone()[0]
+            if existing:
+                self._connection.commit()
+                return existing
+            self._connection.executemany(
+                "INSERT INTO leases (campaign, shard, keys) VALUES (?, ?, ?)",
+                [
+                    (campaign, index, json.dumps(list(keys)))
+                    for index, keys in enumerate(shards)
+                ],
+            )
+            self._connection.commit()
+            return len(list(shards))
+        except BaseException:
+            self._connection.rollback()
+            raise
+
+    def claim_lease(
+        self,
+        campaign: str,
+        worker: str,
+        now: float,
+        duration: float,
+        max_attempts: int = 3,
+    ) -> LeaseRow | None:
+        """Atomically claim the next drainable shard, or ``None``.
+
+        A shard is drainable when it is ``pending`` or its lease expired
+        (``deadline < now`` -- the holder died or stalled).  The claim,
+        executed under ``BEGIN IMMEDIATE`` so racing workers serialise on
+        the write lock, bumps the attempt counter and resets the heartbeat
+        count; taking over an expired lease additionally bumps ``reclaims``
+        and marks the returned row ``reclaimed``.  Before picking a shard,
+        expired leases that already burned ``max_attempts`` attempts are
+        quarantined so a poison shard cannot be claimed forever.
+        """
+        self._begin_immediate()
+        try:
+            self._connection.execute(
+                "UPDATE leases SET state = 'quarantined', worker = NULL, "
+                "deadline = NULL WHERE campaign = ? AND state = 'leased' "
+                "AND deadline < ? AND attempts >= ?",
+                (campaign, now, int(max_attempts)),
+            )
+            row = self._connection.execute(
+                f"{self._LEASE_SELECT} WHERE campaign = ? AND "
+                "(state = 'pending' OR (state = 'leased' AND deadline < ?)) "
+                "ORDER BY shard LIMIT 1",
+                (campaign, now),
+            ).fetchone()
+            if row is None:
+                self._connection.commit()
+                return None
+            previous = self._lease_from_row(row)
+            reclaimed = previous.state == "leased"
+            deadline = now + float(duration)
+            acquired_at = utc_now()
+            self._connection.execute(
+                "UPDATE leases SET state = 'leased', worker = ?, "
+                "deadline = ?, heartbeats = 0, attempts = attempts + 1, "
+                "reclaims = reclaims + ?, acquired_at = ? "
+                "WHERE campaign = ? AND shard = ?",
+                (worker, deadline, 1 if reclaimed else 0, acquired_at,
+                 campaign, previous.shard),
+            )
+            self._connection.commit()
+        except BaseException:
+            self._connection.rollback()
+            raise
+        return dataclasses.replace(
+            previous,
+            state="leased",
+            worker=worker,
+            deadline=deadline,
+            heartbeats=0,
+            attempts=previous.attempts + 1,
+            reclaims=previous.reclaims + (1 if reclaimed else 0),
+            acquired_at=acquired_at,
+            reclaimed=reclaimed,
+        )
+
+    def renew_lease(
+        self, campaign: str, shard: int, worker: str, now: float, duration: float
+    ) -> bool:
+        """Heartbeat: extend a held lease; ``False`` means the lease is gone.
+
+        Renewal only succeeds while the row still names ``worker`` as the
+        leased holder -- after a reclaim the previous owner's heartbeat
+        fails, which is how a worker that lost its lease mid-drain finds
+        out it must abandon the shard.
+        """
+        cursor = self._connection.execute(
+            "UPDATE leases SET deadline = ?, heartbeats = heartbeats + 1 "
+            "WHERE campaign = ? AND shard = ? AND worker = ? "
+            "AND state = 'leased'",
+            (now + float(duration), campaign, shard, worker),
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def complete_lease(self, campaign: str, shard: int, worker: str) -> bool:
+        """Mark a shard done; idempotent (re-completing is a no-op).
+
+        Completion is deliberately *not* conditioned on still holding the
+        lease: by the time a worker completes a shard every result is
+        already committed under its scenario hash, so the work is done even
+        if the lease expired and was reclaimed mid-drain.  Returns whether
+        this call performed the transition.
+        """
+        cursor = self._connection.execute(
+            "UPDATE leases SET state = 'done', worker = ?, deadline = NULL, "
+            "last_error = NULL, completed_at = ? "
+            "WHERE campaign = ? AND shard = ? AND state != 'done'",
+            (worker, utc_now(), campaign, shard),
+        )
+        self._connection.commit()
+        return cursor.rowcount > 0
+
+    def release_lease(
+        self,
+        campaign: str,
+        shard: int,
+        worker: str,
+        error: str | None = None,
+        quarantine_after: int | None = None,
+    ) -> str | None:
+        """Give a held shard back: to the pool, or to quarantine.
+
+        The graceful-failure path (shard raised, worker interrupted): the
+        shard returns to ``pending`` for another attempt, or -- when it has
+        already burned ``quarantine_after`` attempts -- is quarantined with
+        ``error`` recorded.  Returns the resulting state, or ``None`` when
+        ``worker`` no longer held the lease (it expired and was reclaimed,
+        so the shard is not this worker's to release).
+        """
+        self._begin_immediate()
+        try:
+            row = self._connection.execute(
+                "SELECT attempts FROM leases WHERE campaign = ? AND shard = ? "
+                "AND worker = ? AND state = 'leased'",
+                (campaign, shard, worker),
+            ).fetchone()
+            if row is None:
+                self._connection.commit()
+                return None
+            poisoned = (
+                quarantine_after is not None and row[0] >= int(quarantine_after)
+            )
+            state = "quarantined" if poisoned else "pending"
+            self._connection.execute(
+                "UPDATE leases SET state = ?, worker = NULL, deadline = NULL, "
+                "last_error = ? WHERE campaign = ? AND shard = ?",
+                (state, error, campaign, shard),
+            )
+            self._connection.commit()
+            return state
+        except BaseException:
+            self._connection.rollback()
+            raise
+
+    def lease_rows(self, campaign: str) -> list[LeaseRow]:
+        """Every lease row of a campaign, in shard order."""
+        rows = self._connection.execute(
+            f"{self._LEASE_SELECT} WHERE campaign = ? ORDER BY shard",
+            (campaign,),
+        ).fetchall()
+        return [self._lease_from_row(row) for row in rows]
+
+    def lease_summary(self, campaign: str) -> dict | None:
+        """Aggregate lease accounting, or ``None`` before any worker joined.
+
+        Returns shard counts by state, total attempts/reclaims, and the
+        per-worker progress map ``{worker: {"completed": n, "active": m}}``
+        (``completed`` counts shards whose *final* completion the worker
+        performed; ``active`` its currently leased shards).
+        """
+        rows = self.lease_rows(campaign)
+        if not rows:
+            return None
+        by_state = {state: 0 for state in LEASE_STATES}
+        workers: dict[str, dict[str, int]] = {}
+        for row in rows:
+            by_state[row.state] = by_state.get(row.state, 0) + 1
+            if row.worker is None:
+                continue
+            progress = workers.setdefault(
+                row.worker, {"completed": 0, "active": 0}
+            )
+            if row.state == "done":
+                progress["completed"] += 1
+            elif row.state == "leased":
+                progress["active"] += 1
+        return {
+            "shards": len(rows),
+            "done": by_state["done"],
+            "leased": by_state["leased"],
+            "pending": by_state["pending"],
+            "quarantined": by_state["quarantined"],
+            "attempts": sum(row.attempts for row in rows),
+            "reclaims": sum(row.reclaims for row in rows),
+            "workers": {name: workers[name] for name in sorted(workers)},
+        }
 
     # -- lifecycle ------------------------------------------------------ #
 

@@ -339,6 +339,11 @@ class CampaignStatus:
     #: Worker-pool profile of the most recent pooled ``campaign run``
     #: invocation (``None`` for campaigns only ever run serially).
     last_run_profile: dict | None = None
+    #: Distributed-drain lease accounting from the warehouse's ``leases``
+    #: table (``None`` when no worker ever joined, or the backend has no
+    #: lease support): shard/done/leased/pending/quarantined counts, total
+    #: attempts and reclaims, and a per-worker ``{completed, active}`` map.
+    leases: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -373,6 +378,11 @@ def campaign_status(store: ResultStore, name: str) -> CampaignStatus:
         simulations_stored=len(stored),
         source=str(manifest.get("source") or ""),
         last_run_profile=manifest.get("last_run_profile"),
+        leases=(
+            store.lease_summary(name)
+            if getattr(store, "supports_leases", False)
+            else None
+        ),
     )
 
 
@@ -444,6 +454,11 @@ def campaign_report(store: ResultStore, name: str) -> dict:
         },
         "rows": rows,
         "incomplete_entries": incomplete,
+        "leases": (
+            store.lease_summary(name)
+            if getattr(store, "supports_leases", False)
+            else None
+        ),
     }
 
 

@@ -563,3 +563,150 @@ class TestWorkerAccounting:
         runner = SweepRunner()
         runner.run_one(spec)
         assert runner.worker_report() is None
+
+
+class TestSchemaV4Migration:
+    """v3 warehouses (runs + metrics, no leases) migrate in place to v4."""
+
+    def _v3_database(self, tmp_path):
+        from repro.store.backend import create_schema_v3
+
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        create_schema_v3(connection)
+        connection.execute(
+            "INSERT INTO runs (key, code_version, scenario, result, "
+            "tracker, workload, attack, nrh, seed, elapsed_seconds, "
+            "peak_memory_bytes, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                "v3-key",
+                CODE_VERSION,
+                json.dumps({"tracker": "graphene", "workload": "429.mcf",
+                            "attack": "refresh", "seed": 3, "nrh": 1000}),
+                json.dumps({"payload": "v3"}),
+                "graphene", "429.mcf", "refresh", 1000, 3, 1.5, 4096,
+                "2026-01-01T00:00:00+00:00",
+            ),
+        )
+        connection.executemany(
+            "INSERT INTO metrics (key, metric, t_ns, value) "
+            "VALUES (?, ?, ?, ?)",
+            [("v3-key", "llc.hit_rate", 10, 0.5),
+             ("v3-key", "llc.hit_rate", 20, 0.625)],
+        )
+        connection.commit()
+        connection.close()
+        return path
+
+    def test_v3_database_migrates_and_keeps_data(self, tmp_path):
+        store = SqliteStore(self._v3_database(tmp_path))
+        assert store._schema_version() == SCHEMA_VERSION
+        record = store.get("v3-key")
+        assert record.result == {"payload": "v3"}
+        assert record.peak_memory_bytes == 4096
+        # Metrics rows survive the migration untouched.
+        assert store.get_metrics("v3-key") == {
+            "llc.hit_rate": [(10.0, 0.5), (20.0, 0.625)]
+        }
+
+    def test_migrated_database_accepts_leases(self, tmp_path):
+        store = SqliteStore(self._v3_database(tmp_path))
+        assert store.init_leases("mig", [["a", "b"], ["c"]]) == 2
+        lease = store.claim_lease("mig", "w0", now=0.0, duration=10.0)
+        assert lease.shard == 0 and lease.keys == ("a", "b")
+        assert store.complete_lease("mig", 0, "w0")
+        summary = store.lease_summary("mig")
+        assert summary["done"] == 1 and summary["pending"] == 1
+
+    def test_v1_chain_reaches_v4(self, tmp_path):
+        # A v1 database runs all three migrations back to back.
+        path = tmp_path / "wh.sqlite"
+        connection = sqlite3.connect(path)
+        create_schema_v1(connection)
+        connection.commit()
+        connection.close()
+        store = SqliteStore(path)
+        assert store._schema_version() == SCHEMA_VERSION
+        assert store.init_leases("chain", [["k"]]) == 1
+
+    def test_fresh_database_is_v4(self, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        assert store._schema_version() == 4 == SCHEMA_VERSION
+
+
+class TestLeaseClaimRace:
+    """The BEGIN IMMEDIATE claim transaction: racing claimants under WAL
+    yield exactly one winner per shard, never a split lease."""
+
+    def _race(self, path, workers: int, barrier_timeout=10.0):
+        barrier = threading.Barrier(workers, timeout=barrier_timeout)
+        results: dict[str, object] = {}
+
+        def _claim(worker: str) -> None:
+            store = SqliteStore(path)       # one connection per worker
+            barrier.wait()
+            results[worker] = store.claim_lease(
+                "race", worker, now=100.0, duration=30.0
+            )
+            store.close()
+
+        threads = [
+            threading.Thread(target=_claim, args=(f"w{index}",))
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results
+
+    def test_two_claimants_one_shard_exactly_one_winner(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        store = SqliteStore(path)
+        store.init_leases("race", [["only"]])
+        store.close()
+        results = self._race(path, workers=2)
+        winners = [lease for lease in results.values() if lease is not None]
+        assert len(winners) == 1
+        assert winners[0].shard == 0 and winners[0].attempts == 1
+
+    def test_many_claimants_cover_shards_disjointly(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        store = SqliteStore(path)
+        store.init_leases("race", [[f"s{index}"] for index in range(3)])
+        store.close()
+        results = self._race(path, workers=4)
+        claimed = [lease.shard for lease in results.values() if lease is not None]
+        # Three shards, four claimants: every shard claimed exactly once,
+        # one claimant walks away empty-handed.
+        assert sorted(claimed) == [0, 1, 2]
+        store = SqliteStore(path)
+        rows = store.lease_rows("race")
+        assert all(row.state == "leased" and row.attempts == 1 for row in rows)
+
+    def test_racing_init_leases_is_first_writer_wins(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        SqliteStore(path).close()
+        barrier = threading.Barrier(2, timeout=10.0)
+        counts: list[int] = []
+
+        def _init(plan) -> None:
+            store = SqliteStore(path)
+            barrier.wait()
+            counts.append(store.init_leases("race", plan))
+            store.close()
+
+        threads = [
+            threading.Thread(target=_init, args=([["a"], ["b"]],)),
+            threading.Thread(target=_init, args=([["a", "b"]],)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store = SqliteStore(path)
+        rows = store.lease_rows("race")
+        # Both callers report the same winning plan, whichever one it was.
+        assert counts[0] == counts[1] == len(rows)
+        assert len(rows) in (1, 2)
