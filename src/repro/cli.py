@@ -55,6 +55,17 @@ without writing Python:
     (see docs/observability.md).
 ``python -m repro.cli store metrics --store warehouse.sqlite --key PREFIX``
     Inspect (or export) the metrics time-series stored next to a run.
+``python -m repro.cli serve --store warehouse.sqlite --workers 2``
+    Run the sweep service: a stdlib-only JSON REST API plus job queue over
+    the warehouse.  Clients POST scenario suites, accepted suites become
+    named campaigns drained by in-process lease workers (or an external
+    ``campaign worker`` fleet with ``--workers 0``), and GET endpoints
+    stream status/leases/results/metrics with pagination and optional
+    per-client rate limiting (see docs/service.md).
+``python -m repro.cli submit suite.json`` / ``status NAME --wait`` / ``results``
+    Thin clients for a running service: submit a suite (idempotent -- a
+    duplicate submission returns the existing campaign), poll a campaign
+    to completion, and fetch/aggregate result rows over HTTP.
 
 Global ``-v`` / ``-q`` flags raise or lower log verbosity (progress and
 diagnostics go to stderr through :mod:`logging`; results stay on stdout).
@@ -83,10 +94,13 @@ Exit codes: 0 on success, 2 for unknown tracker/attack/workload names.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import logging
+import signal
 import sys
+import threading
 import time
 
 from repro.analysis.security_eval import (
@@ -402,11 +416,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign_leases.add_argument("name", help="campaign name")
     _store_argument(campaign_leases)
+    campaign_leases.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON instead of the aligned table",
+    )
     campaign_status_p = campaign_sub.add_parser(
         "status", help="completion state of a saved campaign"
     )
     campaign_status_p.add_argument("name", help="campaign name")
     _store_argument(campaign_status_p)
+    campaign_status_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON instead of the key:value lines",
+    )
     campaign_list = campaign_sub.add_parser(
         "list", help="list the campaigns saved in the warehouse"
     )
@@ -427,6 +453,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("csv", "json"),
         default=None,
         help="export format (default: from the output suffix)",
+    )
+    campaign_report_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full report document (rows plus campaign metadata "
+        "and lease state) as JSON; -o/--format export only the rows",
     )
     campaign_diff = campaign_sub.add_parser(
         "diff",
@@ -463,6 +496,13 @@ def _build_parser() -> argparse.ArgumentParser:
             help="filter by simulator code version",
         )
         parser.add_argument("--limit", type=int, default=None)
+        parser.add_argument(
+            "--offset",
+            type=int,
+            default=0,
+            help="skip this many rows (stable key order, so --limit/--offset "
+            "paginate deterministically)",
+        )
 
     store_query = store_sub.add_parser(
         "query", help="filter and aggregate stored runs"
@@ -617,6 +657,138 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also persist the run and its metrics time-series to this "
         "warehouse",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: a JSON REST API + job queue over the "
+        "warehouse (see docs/service.md)",
+    )
+    _store_argument(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8180)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="in-process drain workers (0 = front end only; attach external "
+        "'campaign worker' processes to the same store)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulation processes each drain worker fans out over",
+    )
+    serve.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        help="simulations per leased shard",
+    )
+    serve.add_argument(
+        "--lease-duration",
+        type=float,
+        default=60.0,
+        help="seconds a claimed shard stays leased without a heartbeat",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per shard before poison-shard quarantine",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        help="requests per second each client address may make "
+        "(token bucket; 0 disables rate limiting)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="token-bucket burst size (default: the --rate-limit value)",
+    )
+
+    def _url_argument(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url",
+            default="http://127.0.0.1:8180",
+            help="base URL of a running sweep service",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="submit a suite file to a running sweep service"
+    )
+    submit.add_argument("suite", help="path of the YAML/JSON suite file")
+    _url_argument(submit)
+    submit.add_argument(
+        "--name",
+        default=None,
+        help="campaign name (default: the suite's own name)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the service's response document as JSON",
+    )
+
+    status_p = sub.add_parser(
+        "status", help="completion state of a campaign on a sweep service"
+    )
+    status_p.add_argument("name", help="campaign name")
+    _url_argument(status_p)
+    status_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON instead of the key:value lines",
+    )
+    status_p.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the campaign is complete (exit 1 on timeout)",
+    )
+    status_p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="poll interval in seconds (with --wait)",
+    )
+    status_p.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="give up after this many seconds (with --wait)",
+    )
+
+    results_p = sub.add_parser(
+        "results", help="fetch stored result rows from a sweep service"
+    )
+    _url_argument(results_p)
+    _filter_arguments(results_p)
+    results_p.add_argument(
+        "--all",
+        action="store_true",
+        dest="fetch_all",
+        help="follow the pagination cursor until every matching row is "
+        "fetched (--limit becomes the page size)",
+    )
+    results_p.add_argument(
+        "--group-by",
+        default=None,
+        help="comma-separated columns to aggregate over "
+        "(e.g. tracker,workload)",
+    )
+    results_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print rows as JSON (identical to 'store export --format json' "
+        "over the same warehouse and filters)",
     )
 
     sub.add_parser("list-attacks", help="list the available attack kernels")
@@ -954,6 +1126,31 @@ def _open_store(target: str):
     return store
 
 
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Treat SIGTERM like Ctrl-C for the duration of the block.
+
+    Long-running verbs (``campaign worker``, ``serve``) are shut down by
+    service managers with SIGTERM; routing it through the existing
+    ``KeyboardInterrupt`` path means a terminated worker releases its held
+    lease immediately instead of making the fleet wait out the lease
+    expiry.  Signal handlers can only be installed on the main thread; on
+    any other thread (the in-process test suite) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.scenarios import load_suite
     from repro.store import (
@@ -1032,7 +1229,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
         try:
-            summary = worker.run(max_shards=args.max_shards)
+            # SIGTERM (service-managed shutdown) takes the same path as
+            # Ctrl-C: the held lease is released promptly, not by expiry.
+            with _sigterm_as_interrupt():
+                summary = worker.run(max_shards=args.max_shards)
         except KeyboardInterrupt:
             print(
                 f"\nworker {worker.worker_id!r} interrupted -- its shard was "
@@ -1074,6 +1274,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
         rows = store.lease_rows(args.name)
+        if args.as_json:
+            from repro.store import lease_document
+
+            document = lease_document(rows, store.lease_summary(args.name))
+            print(json.dumps(document, indent=2, default=str))
+            return 0
         if not rows:
             print(
                 f"campaign {args.name!r}: no lease rows (no distributed "
@@ -1112,6 +1318,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
+        if args.as_json:
+            from repro.store import status_document
+
+            print(json.dumps(status_document(status), indent=2, default=str))
+            return 0
         print(f"campaign      : {status.name}")
         print(f"created       : {status.created_at}")
         print(f"code version  : {status.code_version} "
@@ -1169,6 +1380,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"campaign: {error}", file=sys.stderr)
             return 2
+        if args.as_json:
+            from repro.store import report_document
+
+            print(json.dumps(report_document(report), indent=2, default=str))
+            return 0
         if args.output == "-" and args.format is None:
             print(format_table(report["rows"]))
             if report["incomplete_entries"]:
@@ -1245,6 +1461,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             nrh=args.nrh,
             code_version=args.code_version,
             limit=args.limit,
+            offset=args.offset,
         )
         if args.store_command == "export":
             export_rows(rows, args.output, format=args.format)
@@ -1426,6 +1643,219 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        CampaignRepository,
+        RateLimiter,
+        ServiceApp,
+        WorkerPool,
+        make_service_server,
+    )
+
+    pool = None
+    try:
+        repository = CampaignRepository(args.store)
+        if args.workers > 0 and not repository.supports_leases:
+            raise ValueError(
+                "the in-process job queue needs the SQLite warehouse (a "
+                "--store path ending in .sqlite/.db); rerun with --workers 0 "
+                "to serve a JSON cache directory read-only"
+            )
+        if args.workers > 0:
+            pool = WorkerPool(
+                args.store,
+                workers=args.workers,
+                jobs=args.jobs,
+                shard_size=args.shard_size,
+                lease_duration=args.lease_duration,
+                max_attempts=args.max_attempts,
+            )
+        limiter = RateLimiter(args.rate_limit, burst=args.burst)
+        app = ServiceApp(repository, pool=pool, rate_limiter=limiter)
+        server = make_service_server(app, args.host, args.port)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"serve: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if pool is not None:
+        pool.start()
+    host, port = server.server_address[:2]
+    limit = (
+        f"{args.rate_limit:g} req/s per client"
+        if args.rate_limit > 0
+        else "off"
+    )
+    print(
+        f"serving on http://{host}:{port} (store {args.store}, "
+        f"{args.workers} worker(s), rate limit {limit})",
+        flush=True,
+    )
+    try:
+        with _sigterm_as_interrupt():
+            server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        if pool is not None:
+            pool.stop(wait=True, timeout=5.0)
+    return 0
+
+
+def _load_suite_document(path: str):
+    """The raw suite document to POST (parsed by suffix, not validated)."""
+    from pathlib import Path
+
+    text = Path(path).read_text(encoding="utf-8")
+    if Path(path).suffix.lower() == ".json":
+        return json.loads(text)
+    try:
+        import yaml
+    except ImportError:
+        raise ValueError(
+            f"reading {path} needs PyYAML, which is not installed; "
+            "convert the suite to JSON"
+        ) from None
+    return yaml.safe_load(text)
+
+
+def _client_error(verb: str, error) -> int:
+    print(f"{verb}: {error}", file=sys.stderr)
+    return 2 if getattr(error, "status", 0) == 400 else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        document = _load_suite_document(args.suite)
+    except (OSError, ValueError) as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+    try:
+        response = client.submit(document, name=args.name)
+    except ServiceError as error:
+        return _client_error("submit", error)
+    if args.as_json:
+        print(json.dumps(response, indent=2))
+        return 0
+    campaign = response["campaign"]
+    verb = "created" if response["created"] else "already exists"
+    queued = " (queued)" if response["queued"] else ""
+    print(
+        f"campaign {campaign['name']!r} {verb}: {campaign['entries']} "
+        f"scenario(s), {campaign['simulations_stored']}/"
+        f"{campaign['simulations_total']} simulations stored "
+        f"({campaign['percent']:.0f}%)"
+    )
+    print(f"drain         : {response['drain']}{queued}")
+    return 0
+
+
+def _print_status_document(status: dict) -> None:
+    """The client-side rendering of a service status document.
+
+    Deliberately the same key:value layout as ``campaign status`` so the
+    same greps work against either the local store or the service.
+    """
+    print(f"campaign      : {status['name']}")
+    print(f"created       : {status['created_at']}")
+    print(f"source        : {status['source'] or '(none)'}")
+    print(
+        f"scenarios     : {status['entries_complete']}/{status['entries']} "
+        "complete"
+    )
+    print(
+        f"simulations   : {status['simulations_stored']}/"
+        f"{status['simulations_total']} stored ({status['percent']:.0f}%)"
+    )
+    print(f"state         : {status['state']}")
+
+
+def _cmd_client_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.wait:
+            def _tick(status: dict) -> None:
+                print(
+                    f"status: {status['simulations_stored']}/"
+                    f"{status['simulations_total']} simulations "
+                    f"({status['percent']:.0f}%)",
+                    file=sys.stderr,
+                )
+
+            status = client.wait_complete(
+                args.name,
+                timeout=args.timeout,
+                interval=args.interval,
+                progress=_tick,
+            )
+        else:
+            status = client.status(args.name)
+    except ServiceError as error:
+        return _client_error("status", error)
+    if args.as_json:
+        print(json.dumps(status, indent=2))
+        return 0
+    _print_status_document(status)
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+    from repro.store import aggregate_rows, export_rows
+
+    client = ServiceClient(args.url)
+    filters = dict(
+        tracker=args.tracker,
+        workload=args.workload,
+        attack=args.attack,
+        nrh=args.nrh,
+        code_version=args.code_version,
+    )
+    try:
+        if args.fetch_all:
+            rows = client.all_results(
+                page_size=args.limit or 500, **filters
+            )
+            next_offset = None
+        else:
+            page = client.results(
+                limit=args.limit, offset=args.offset, **filters
+            )
+            rows = page["rows"]
+            next_offset = page["next_offset"]
+    except ServiceError as error:
+        return _client_error("results", error)
+    if args.group_by:
+        try:
+            rows = aggregate_rows(
+                rows, [name.strip() for name in args.group_by.split(",")]
+            )
+        except ValueError as error:
+            print(f"results: {error}", file=sys.stderr)
+            return 2
+    if args.as_json:
+        export_rows(rows, "-", format="json")
+    else:
+        print(format_table(rows))
+    if next_offset is not None:
+        print(
+            f"results: more rows available (next page: --offset "
+            f"{next_offset})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     if args.list or args.number is None:
         for number in FIGURE_IDS:
@@ -1534,6 +1964,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_store(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_client_status(args)
+    if args.command == "results":
+        return _cmd_results(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

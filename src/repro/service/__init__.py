@@ -1,0 +1,61 @@
+"""Sweep-as-a-service: a REST + job-queue front end over the warehouse.
+
+This package turns the repo's campaign machinery into an operable service:
+clients POST scenario suites to a JSON API, accepted suites become named
+campaigns in the SQLite warehouse, and an in-process pool of
+:class:`~repro.store.worker.CampaignWorker` threads (or any external
+``campaign worker`` fleet pointed at the same store) drains them through
+the PR 8 lease protocol.  Everything is stdlib -- ``wsgiref`` plus a
+threading server -- so tier-1 stays dependency-free.
+
+Layers, one module each:
+
+* :mod:`repro.service.app` -- the WSGI app, endpoint handlers, server glue.
+* :mod:`repro.service.router` -- method + path-pattern routing.
+* :mod:`repro.service.repository` -- the store facade (validation,
+  idempotent submission, status/leases/report/results/metrics reads).
+* :mod:`repro.service.jobs` -- the in-process drain pool.
+* :mod:`repro.service.ratelimit` -- per-client token buckets.
+* :mod:`repro.service.errors` -- the structured JSON error hierarchy.
+* :mod:`repro.service.client` -- the stdlib HTTP client the CLI verbs use.
+
+See ``docs/service.md`` for the endpoint reference and deployment notes.
+"""
+
+from repro.service.app import (
+    ServiceApp,
+    ThreadingWSGIServer,
+    make_service_server,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.errors import (
+    ApiError,
+    BadRequest,
+    Conflict,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    RateLimited,
+)
+from repro.service.jobs import WorkerPool
+from repro.service.ratelimit import RateLimiter
+from repro.service.repository import CampaignRepository, SubmitResult
+
+__all__ = [
+    "ServiceApp",
+    "ThreadingWSGIServer",
+    "make_service_server",
+    "ServiceClient",
+    "ServiceError",
+    "ApiError",
+    "BadRequest",
+    "Conflict",
+    "MethodNotAllowed",
+    "NotFound",
+    "PayloadTooLarge",
+    "RateLimited",
+    "WorkerPool",
+    "RateLimiter",
+    "CampaignRepository",
+    "SubmitResult",
+]

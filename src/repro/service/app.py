@@ -1,0 +1,261 @@
+"""The sweep service: a stdlib-only WSGI app over the campaign warehouse.
+
+Endpoints (all JSON, all under ``/api/v1``):
+
+========  ==============================  =======================================
+Method    Path                            Meaning
+========  ==============================  =======================================
+GET       ``/health``                     liveness probe (never rate limited)
+POST      ``/campaigns``                  submit a suite document (idempotent)
+GET       ``/campaigns``                  list campaigns with completion state
+GET       ``/campaigns/{name}``           one campaign's status document
+GET       ``/campaigns/{name}/leases``    per-shard lease table
+GET       ``/campaigns/{name}/report``    result rows (``offset``/``limit``)
+GET       ``/results``                    flattened runs (filters + pagination)
+GET       ``/metrics``                    run keys with metrics stored
+GET       ``/metrics/{key}``              one run's metrics series (``?metric=``)
+GET       ``/workers``                    in-process drain pool state
+========  ==============================  =======================================
+
+The app is a plain WSGI callable built on :mod:`wsgiref` -- no third-party
+framework -- served by a threading server so a long POST cannot starve
+status polls.  Request handling is strictly: rate limit, parse, route,
+serialize; every failure path emits the structured JSON error shape from
+:mod:`repro.service.errors`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from repro.service.errors import (
+    REASONS,
+    ApiError,
+    BadRequest,
+    PayloadTooLarge,
+    RateLimited,
+)
+from repro.service.jobs import WorkerPool
+from repro.service.ratelimit import RateLimiter
+from repro.service.repository import CampaignRepository
+from repro.service.router import Request, Router, parse_json_body, parse_query
+
+_LOG = logging.getLogger("repro.service")
+
+#: Request bodies past this size are refused before parsing (a suite file
+#: that expands to the full paper matrix is a few kilobytes).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceApp:
+    """WSGI callable wiring the router to the repository and the pool."""
+
+    def __init__(
+        self,
+        repository: CampaignRepository,
+        pool: WorkerPool | None = None,
+        rate_limiter: RateLimiter | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ):
+        self.repository = repository
+        self.pool = pool
+        self.rate_limiter = rate_limiter or RateLimiter(0.0)
+        self.max_body_bytes = int(max_body_bytes)
+        self.router = Router()
+        self.router.get("/api/v1/health", self._health)
+        self.router.post("/api/v1/campaigns", self._submit)
+        self.router.get("/api/v1/campaigns", self._campaigns)
+        self.router.get("/api/v1/campaigns/{name}", self._status)
+        self.router.get("/api/v1/campaigns/{name}/leases", self._leases)
+        self.router.get("/api/v1/campaigns/{name}/report", self._report)
+        self.router.get("/api/v1/results", self._results)
+        self.router.get("/api/v1/metrics", self._metrics_keys)
+        self.router.get("/api/v1/metrics/{key}", self._metrics)
+        self.router.get("/api/v1/workers", self._workers)
+
+    # -- WSGI ----------------------------------------------------------- #
+
+    def __call__(self, environ, start_response):
+        try:
+            status, document, extra_headers = self._handle(environ)
+        except ApiError as error:
+            status, document = error.status, error.document()
+            extra_headers = []
+            if isinstance(error, RateLimited):
+                retry_after = error.details.get("retry_after", 1)
+                extra_headers = [("Retry-After", f"{retry_after:.0f}")]
+        except Exception:
+            _LOG.exception(
+                "unhandled error serving %s %s",
+                environ.get("REQUEST_METHOD"), environ.get("PATH_INFO"),
+            )
+            status = 500
+            document = {
+                "error": {
+                    "status": 500,
+                    "code": "internal_error",
+                    "message": "internal server error (see the service log)",
+                }
+            }
+            extra_headers = []
+        body = (json.dumps(document, indent=2, default=str) + "\n").encode(
+            "utf-8"
+        )
+        reason = REASONS.get(status, "Unknown")
+        start_response(
+            f"{status} {reason}",
+            [
+                ("Content-Type", "application/json; charset=utf-8"),
+                ("Content-Length", str(len(body))),
+                *extra_headers,
+            ],
+        )
+        return [body]
+
+    def _handle(self, environ) -> tuple[int, dict, list]:
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        remote = environ.get("REMOTE_ADDR", "")
+        if path != "/api/v1/health":
+            allowed, retry_after = self.rate_limiter.acquire(remote or "?")
+            if not allowed:
+                raise RateLimited(
+                    "rate limit exceeded; retry after "
+                    f"{retry_after:.1f}s",
+                    retry_after=max(1.0, retry_after),
+                )
+        body = None
+        if method == "POST":
+            body = parse_json_body(self._read_body(environ))
+        request = Request(
+            method=method,
+            path=path,
+            query=parse_query(environ.get("QUERY_STRING", "")),
+            body=body,
+            remote_addr=remote,
+        )
+        result = self.router.dispatch(request)
+        if isinstance(result, tuple):
+            status, document = result
+        else:
+            status, document = 200, result
+        return status, document, []
+
+    def _read_body(self, environ) -> bytes:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            raise BadRequest("invalid Content-Length header") from None
+        if length > self.max_body_bytes:
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit"
+            )
+        if length <= 0:
+            return b""
+        return environ["wsgi.input"].read(length)
+
+    # -- handlers ------------------------------------------------------- #
+
+    def _health(self, request: Request):
+        return {"status": "ok"}
+
+    def _submit(self, request: Request):
+        if not isinstance(request.body, dict):
+            raise BadRequest(
+                "POST /api/v1/campaigns expects a JSON suite document "
+                "(an object with a 'scenarios' list)"
+            )
+        name = request.query.get("name") or None
+        submitted = self.repository.submit(request.body, name=name)
+        queued = False
+        if self.pool is not None and submitted.status["state"] != "complete":
+            queued = self.pool.enqueue(submitted.name, submitted.specs)
+        document = {
+            "campaign": submitted.status,
+            "created": submitted.created,
+            "queued": queued,
+            "drain": "in-process" if self.pool is not None else "external",
+        }
+        return (201 if submitted.created else 200), document
+
+    def _campaigns(self, request: Request):
+        names = self.repository.campaign_names()
+        return {
+            "campaigns": [self.repository.status(name) for name in names]
+        }
+
+    def _status(self, request: Request):
+        return self.repository.status(request.params["name"])
+
+    def _leases(self, request: Request):
+        return self.repository.leases(request.params["name"])
+
+    def _report(self, request: Request):
+        return self.repository.report(
+            request.params["name"],
+            offset=request.query_int("offset", 0),
+            limit=request.query_int("limit"),
+        )
+
+    def _results(self, request: Request):
+        return self.repository.results(
+            tracker=request.query.get("tracker") or None,
+            workload=request.query.get("workload") or None,
+            attack=request.query.get("attack") or None,
+            nrh=request.query_int("nrh"),
+            code_version=request.query.get("code_version") or None,
+            limit=request.query_int("limit"),
+            offset=request.query_int("offset", 0),
+        )
+
+    def _metrics_keys(self, request: Request):
+        return {"keys": self.repository.metrics_keys()}
+
+    def _metrics(self, request: Request):
+        return self.repository.metrics(
+            request.params["key"],
+            metric=request.query.get("metric") or None,
+        )
+
+    def _workers(self, request: Request):
+        if self.pool is None:
+            return {
+                "workers": [],
+                "queued_campaigns": [],
+                "queue_depth": 0,
+                "drain": "external",
+            }
+        return {**self.pool.snapshot(), "drain": "in-process"}
+
+
+# --------------------------------------------------------------------------- #
+# Server plumbing
+# --------------------------------------------------------------------------- #
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemonic so shutdown never hangs on a poll."""
+
+    daemon_threads = True
+
+
+class _QuietRequestHandler(WSGIRequestHandler):
+    """Route per-request access lines through logging instead of stderr."""
+
+    def log_message(self, format, *args):   # noqa: A002 - wsgiref signature
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+
+def make_service_server(app: ServiceApp, host: str, port: int):
+    """A ready-to-``serve_forever`` threading WSGI server for the app."""
+    return make_server(
+        host,
+        port,
+        app,
+        server_class=ThreadingWSGIServer,
+        handler_class=_QuietRequestHandler,
+    )

@@ -1,0 +1,168 @@
+"""Thin stdlib HTTP client for the sweep service.
+
+Wraps :mod:`urllib.request` for the CLI's ``submit`` / ``status`` /
+``results`` verbs and the tests; every method returns the decoded JSON
+document, and non-2xx responses raise :class:`ServiceError` carrying the
+service's structured error body.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request as UrlRequest
+from urllib.request import urlopen
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the parsed error document when present."""
+
+    def __init__(self, status: int, document: dict | None, message: str):
+        super().__init__(message)
+        self.status = status
+        self.document = document or {}
+
+    @classmethod
+    def from_http_error(cls, error: HTTPError) -> "ServiceError":
+        document = None
+        message = f"HTTP {error.code}"
+        try:
+            document = json.loads(error.read().decode("utf-8"))
+            message = document["error"]["message"]
+        except Exception:
+            pass
+        return cls(error.code, document, f"service error {error.code}: {message}")
+
+
+class ServiceClient:
+    """JSON requests against one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        query: dict | None = None,
+        body: object = None,
+    ) -> dict:
+        query = {
+            key: value
+            for key, value in (query or {}).items()
+            if value is not None
+        }
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            with urlopen(
+                UrlRequest(url, data=data, headers=headers, method=method),
+                timeout=self.timeout,
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            raise ServiceError.from_http_error(error) from None
+        except URLError as error:
+            raise ServiceError(
+                0, None, f"cannot reach the service at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+
+    # -- endpoints ------------------------------------------------------ #
+
+    def health(self) -> dict:
+        return self.request("GET", "/api/v1/health")
+
+    def submit(self, suite_document: dict, name: str | None = None) -> dict:
+        return self.request(
+            "POST", "/api/v1/campaigns", query={"name": name},
+            body=suite_document,
+        )
+
+    def campaigns(self) -> dict:
+        return self.request("GET", "/api/v1/campaigns")
+
+    def status(self, name: str) -> dict:
+        return self.request("GET", f"/api/v1/campaigns/{name}")
+
+    def leases(self, name: str) -> dict:
+        return self.request("GET", f"/api/v1/campaigns/{name}/leases")
+
+    def report(
+        self, name: str, offset: int = 0, limit: int | None = None
+    ) -> dict:
+        return self.request(
+            "GET", f"/api/v1/campaigns/{name}/report",
+            query={"offset": offset, "limit": limit},
+        )
+
+    def results(
+        self,
+        tracker: str | None = None,
+        workload: str | None = None,
+        attack: str | None = None,
+        nrh: int | None = None,
+        code_version: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> dict:
+        return self.request(
+            "GET", "/api/v1/results",
+            query={
+                "tracker": tracker,
+                "workload": workload,
+                "attack": attack,
+                "nrh": nrh,
+                "code_version": code_version,
+                "limit": limit,
+                "offset": offset,
+            },
+        )
+
+    def all_results(self, page_size: int = 500, **filters) -> list[dict]:
+        """Every matching row, fetched page by page through the cursor."""
+        rows: list[dict] = []
+        offset = 0
+        while True:
+            page = self.results(limit=page_size, offset=offset, **filters)
+            rows.extend(page["rows"])
+            if page["next_offset"] is None:
+                return rows
+            offset = page["next_offset"]
+
+    def workers(self) -> dict:
+        return self.request("GET", "/api/v1/workers")
+
+    def wait_complete(
+        self,
+        name: str,
+        timeout: float = 600.0,
+        interval: float = 1.0,
+        progress=None,
+    ) -> dict:
+        """Poll status until the campaign completes; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(name)
+            if progress is not None:
+                progress(status)
+            if status["state"] == "complete":
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, status,
+                    f"campaign {name!r} did not complete within {timeout:.0f}s "
+                    f"({status['percent']:.0f}% done)",
+                )
+            time.sleep(interval)

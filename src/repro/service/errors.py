@@ -1,0 +1,93 @@
+"""Structured JSON errors for the sweep service.
+
+Every failure a client can cause maps to one :class:`ApiError` subclass; the
+WSGI app converts raised errors into a JSON body of the shape
+
+.. code-block:: json
+
+    {"error": {"status": 404, "code": "not_found", "message": "..."}}
+
+so clients never have to parse prose out of an HTML error page.  Unexpected
+server-side exceptions become a generic 500 with the details kept on the
+server log, not the wire.
+"""
+
+from __future__ import annotations
+
+#: HTTP status -> reason phrase for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ApiError(Exception):
+    """A client-visible failure with an HTTP status and a stable code."""
+
+    status = 500
+    code = "internal_error"
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.message = message
+        #: Extra JSON-serializable fields merged into the error document
+        #: (e.g. ``retry_after`` on 429, ``campaign`` on 409).
+        self.details = details
+
+    def document(self) -> dict:
+        error = {
+            "status": self.status,
+            "code": self.code,
+            "message": self.message,
+        }
+        error.update(self.details)
+        return {"error": error}
+
+
+class BadRequest(ApiError):
+    """Malformed request: bad JSON, unknown field, invalid suite."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ApiError):
+    """No such route, campaign, or stored run."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ApiError):
+    """The path exists but not under this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class Conflict(ApiError):
+    """A named campaign already exists with a different scenario set."""
+
+    status = 409
+    code = "conflict"
+
+
+class PayloadTooLarge(ApiError):
+    """The request body exceeds the configured limit."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class RateLimited(ApiError):
+    """The client exhausted its token bucket; retry after a delay."""
+
+    status = 429
+    code = "rate_limited"

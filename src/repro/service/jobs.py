@@ -1,0 +1,181 @@
+"""In-process drain pool: accepted campaigns become CampaignWorker jobs.
+
+The service's job queue does not invent a second execution path -- each pool
+thread runs the exact :class:`~repro.store.worker.CampaignWorker` protocol
+an external ``campaign worker`` process would, against its own short-lived
+store handle.  That buys three things for free:
+
+* **Fan-out.**  An accepted campaign is enqueued once per pool thread; the
+  lease table arbitrates who drains which shard, so N in-process workers
+  genuinely parallelise one campaign (and duplicate queue entries for an
+  already-terminal campaign cost one claim attempt, nothing more).
+* **Mixed fleets.**  External ``campaign worker`` processes attaching to
+  the same warehouse participate in the same drain -- the service does not
+  distinguish them from its own threads (``serve --workers 0`` runs the
+  service as a pure front end over an external fleet).
+* **Crash safety.**  A pool thread dying mid-shard looks exactly like a
+  dead external worker: its lease expires and a survivor reclaims it.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+
+from repro.store import CampaignWorker, open_store
+
+_LOG = logging.getLogger("repro.service")
+
+_STOP = object()
+
+
+class WorkerPool:
+    """N daemon threads draining submitted campaigns via the lease table."""
+
+    def __init__(
+        self,
+        target: str,
+        workers: int = 1,
+        jobs: int = 1,
+        shard_size: int = 4,
+        lease_duration: float = 60.0,
+        max_attempts: int = 3,
+        track_memory: bool = False,
+    ):
+        self.target = str(target)
+        self.workers = max(1, int(workers))
+        self.jobs = max(1, int(jobs))
+        self.shard_size = max(1, int(shard_size))
+        self.lease_duration = float(lease_duration)
+        self.max_attempts = max(1, int(max_attempts))
+        self.track_memory = bool(track_memory)
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._outstanding: dict[str, int] = {}   # campaign -> queued entries
+        self._threads: list[threading.Thread] = []
+        self._states: dict[str, dict] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        for index in range(self.workers):
+            worker_id = f"svc-worker-{index + 1}"
+            self._states[worker_id] = {
+                "worker": worker_id,
+                "state": "idle",
+                "campaign": None,
+                "shards_completed": 0,
+                "simulations_executed": 0,
+                "last_error": None,
+            }
+            thread = threading.Thread(
+                target=self._loop,
+                args=(worker_id,),
+                name=worker_id,
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, wait: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop accepting work and let threads exit after their current job."""
+        with self._lock:
+            self._stopping = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, name: str, specs) -> bool:
+        """Queue a campaign for draining; no-op if it is already queued.
+
+        One queue entry per pool thread, so every idle worker joins the
+        drain.  Returns whether anything was enqueued.
+        """
+        with self._lock:
+            if self._stopping or name in self._outstanding:
+                return False
+            self._outstanding[name] = self.workers
+        for _ in range(self.workers):
+            self._queue.put((name, list(specs)))
+        return True
+
+    def snapshot(self) -> dict:
+        """Pool state for ``GET /api/v1/workers``."""
+        with self._lock:
+            return {
+                "workers": [dict(state) for state in self._states.values()],
+                "queued_campaigns": sorted(self._outstanding),
+                "queue_depth": self._queue.qsize(),
+            }
+
+    # ------------------------------------------------------------------ #
+
+    def _loop(self, worker_id: str) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            name, specs = item
+            self._set(worker_id, state="draining", campaign=name)
+            try:
+                self._drain(worker_id, name, specs)
+            except Exception as error:
+                # A failed drain never kills the pool thread: the campaign
+                # stays resumable (leases expire, results are checkpointed)
+                # and the error is visible on /workers.
+                _LOG.exception(
+                    "service worker %s: drain of %r failed", worker_id, name
+                )
+                self._set(
+                    worker_id,
+                    last_error=f"{name}: {type(error).__name__}: {error}",
+                )
+            finally:
+                self._set(worker_id, state="idle", campaign=None)
+                with self._lock:
+                    remaining = self._outstanding.get(name, 1) - 1
+                    if remaining <= 0:
+                        self._outstanding.pop(name, None)
+                    else:
+                        self._outstanding[name] = remaining
+
+    def _drain(self, worker_id: str, name: str, specs) -> None:
+        store = open_store(self.target)
+        try:
+            worker = CampaignWorker(
+                name,
+                specs,
+                store,
+                worker_id=worker_id,
+                jobs=self.jobs,
+                shard_size=self.shard_size,
+                lease_duration=self.lease_duration,
+                max_attempts=self.max_attempts,
+                init=False,
+                source="service",
+                track_memory=self.track_memory,
+            )
+            worker.join()
+            summary = worker.run()
+        finally:
+            store.close()
+        _LOG.info(
+            "service worker %s drained %r: %d/%d shard(s) here "
+            "(%d executed, %d reclaimed)",
+            worker_id, name, summary.completed, summary.shards,
+            summary.executed, summary.reclaimed,
+        )
+        with self._lock:
+            state = self._states[worker_id]
+            state["shards_completed"] += summary.completed
+            state["simulations_executed"] += summary.executed
+
+    def _set(self, worker_id: str, **fields) -> None:
+        with self._lock:
+            self._states[worker_id].update(fields)

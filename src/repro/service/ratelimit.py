@@ -1,0 +1,81 @@
+"""Token-bucket rate limiting, one bucket per client address.
+
+Each client gets a bucket of ``burst`` tokens refilled at ``rate`` tokens
+per second; every request spends one token, and an empty bucket is a 429
+with a ``Retry-After`` hint of how long until the next token lands.  The
+clock is injectable so refill behaviour is unit-testable without sleeping,
+mirroring the warehouse lease machinery.
+
+A ``rate`` of zero (the ``serve --rate-limit 0`` default) disables limiting
+entirely -- no buckets are kept, every request passes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+#: Buckets idle this long are dropped (a fresh full bucket replaces them on
+#: the next request), so a long-lived service scanning many one-shot clients
+#: does not grow without bound.  Checked lazily on acquire; no background
+#: thread.
+_PRUNE_AFTER_SECONDS = 300.0
+
+
+class RateLimiter:
+    """Thread-safe per-key token buckets.
+
+    ``acquire(key)`` returns ``(allowed, retry_after_seconds)``;
+    ``retry_after_seconds`` is 0.0 whenever the request is allowed.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = (
+            max(1, int(burst if burst is not None else rate))
+            if self.rate > 0
+            else 0
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, list[float]] = {}   # key -> [tokens, last]
+        self._last_prune = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def acquire(self, key: str) -> tuple[bool, float]:
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            bucket = self._buckets.setdefault(key, [float(self.burst), now])
+            tokens, last = bucket
+            tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+            if tokens >= 1.0:
+                bucket[:] = [tokens - 1.0, now]
+                return True, 0.0
+            bucket[:] = [tokens, now]
+            return False, (1.0 - tokens) / self.rate
+
+    def _prune(self, now: float) -> None:
+        if now - self._last_prune < _PRUNE_AFTER_SECONDS:
+            return
+        self._last_prune = now
+        stale = [
+            key
+            for key, (_, last) in self._buckets.items()
+            if now - last >= _PRUNE_AFTER_SECONDS
+        ]
+        for key in stale:
+            del self._buckets[key]

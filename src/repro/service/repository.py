@@ -1,0 +1,236 @@
+"""Repository over the warehouse for the sweep service.
+
+The service's request handlers never touch :class:`SqliteStore` directly;
+this repository wraps the store/campaign/query/worker layers behind the
+operations the endpoints need, and owns the connection discipline: every
+operation opens a *fresh* store handle on the warehouse path and closes it
+when done.  SQLite connections must not cross threads, and the threading
+WSGI server handles each request wherever it pleases -- short-lived handles
+sidestep the whole question (WAL mode plus the busy timeout make concurrent
+open/read/write across handles safe, exactly as the multi-process workers
+already rely on).
+
+Submission is idempotent by construction: the suite compiles to a manifest
+whose entries carry content-hash keys, and :meth:`submit` persists it with
+the store's first-writer-wins ``create_campaign``.  A duplicate POST --
+same name, same keys -- adopts the stored manifest; the same name over a
+*different* scenario set is a 409, never a silent manifest replacement.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from contextlib import contextmanager
+
+from repro.scenarios import parse_suite
+from repro.sim.sweep import ScenarioSpec
+from repro.store import (
+    build_manifest,
+    campaign_report,
+    campaign_status,
+    lease_document,
+    open_store,
+    query_rows,
+    report_document,
+    status_document,
+)
+from repro.store.campaign import _manifest_keys, load_manifest
+from repro.service.errors import BadRequest, Conflict, NotFound
+
+_LOG = logging.getLogger("repro.service")
+
+
+class SubmitResult:
+    """What one suite submission did (consumed by the app and the pool)."""
+
+    def __init__(
+        self,
+        name: str,
+        specs: list[ScenarioSpec],
+        created: bool,
+        status: dict,
+    ):
+        self.name = name
+        self.specs = specs
+        self.created = created
+        self.status = status
+
+
+class CampaignRepository:
+    """All warehouse operations the service exposes, by campaign name."""
+
+    def __init__(self, target: str | os.PathLike):
+        self.target = str(target)
+        # Fail at construction, not first request: open once to validate the
+        # path and run any pending schema migration.
+        store = open_store(self.target)
+        if store is None:
+            raise ValueError("the service needs a store path, '' disables it")
+        try:
+            self.supports_leases = bool(
+                getattr(store, "supports_leases", False)
+            )
+        finally:
+            store.close()
+
+    @contextmanager
+    def _store(self):
+        store = open_store(self.target)
+        try:
+            yield store
+        finally:
+            store.close()
+
+    # -- submission ----------------------------------------------------- #
+
+    def compile_suite(
+        self, document: object, name: str | None = None
+    ) -> tuple[str, list[ScenarioSpec], object]:
+        """Validate a suite document against the scenario catalog.
+
+        Returns ``(campaign_name, specs, suite)``; every validation failure
+        -- wrong shape, unknown family, bad parameters -- surfaces as a 400
+        carrying the catalog's own message.
+        """
+        try:
+            suite = parse_suite(document, name=name or "suite")
+            specs = suite.compile()
+        except ValueError as error:
+            raise BadRequest(str(error)) from None
+        return (name or suite.name), specs, suite
+
+    def submit(self, document: object, name: str | None = None) -> SubmitResult:
+        """Create (or adopt) a campaign from a suite document.
+
+        Concurrent submitters of the same suite all converge on one stored
+        manifest -- ``create_campaign`` is atomic first-writer-wins -- and
+        every response reports the same campaign.
+        """
+        campaign_name, specs, suite = self.compile_suite(document, name=name)
+        try:
+            manifest = build_manifest(
+                campaign_name,
+                specs,
+                source="service",
+                description=suite.description,
+            )
+        except ValueError as error:
+            raise BadRequest(str(error)) from None
+        with self._store() as store:
+            stored, created = store.create_campaign(campaign_name, manifest)
+            if not created and _manifest_keys(stored) != _manifest_keys(manifest):
+                raise Conflict(
+                    f"campaign {campaign_name!r} already exists with a "
+                    "different scenario set (saved under code version "
+                    f"{stored.get('code_version')!r}); submit under a new "
+                    "name, or delete the old campaign first",
+                    campaign=campaign_name,
+                )
+            status = status_document(campaign_status(store, campaign_name))
+        _LOG.info(
+            "submit campaign %r: %d scenario(s), %s",
+            campaign_name, len(specs), "created" if created else "existing",
+        )
+        return SubmitResult(campaign_name, specs, created, status)
+
+    # -- inspection ----------------------------------------------------- #
+
+    def campaign_names(self) -> tuple[str, ...]:
+        with self._store() as store:
+            return store.campaign_names()
+
+    def status(self, name: str) -> dict:
+        with self._store() as store:
+            try:
+                return status_document(campaign_status(store, name))
+            except ValueError as error:
+                raise NotFound(str(error)) from None
+
+    def leases(self, name: str) -> dict:
+        with self._store() as store:
+            try:
+                load_manifest(store, name)
+            except ValueError as error:
+                raise NotFound(str(error)) from None
+            if not self.supports_leases:
+                return lease_document([], None)
+            return lease_document(
+                store.lease_rows(name), store.lease_summary(name)
+            )
+
+    def report(self, name: str, offset: int = 0, limit: int | None = None) -> dict:
+        with self._store() as store:
+            try:
+                report = campaign_report(store, name)
+            except ValueError as error:
+                raise NotFound(str(error)) from None
+        return report_document(report, offset=offset, limit=limit)
+
+    # -- results and metrics -------------------------------------------- #
+
+    def results(
+        self,
+        tracker: str | None = None,
+        workload: str | None = None,
+        attack: str | None = None,
+        nrh: int | None = None,
+        code_version: str | None = None,
+        limit: int | None = None,
+        offset: int = 0,
+    ) -> dict:
+        """One page of flattened result rows, plus the cursor to the next.
+
+        The rows are exactly :func:`repro.store.query_rows` over the same
+        warehouse -- stable key order, so ``offset`` pages never skip or
+        repeat a row while the store only grows.
+        """
+        offset = max(0, int(offset))
+        with self._store() as store:
+            rows = query_rows(
+                store,
+                tracker=tracker,
+                workload=workload,
+                attack=attack,
+                nrh=nrh,
+                code_version=code_version,
+                limit=limit,
+                offset=offset,
+            )
+        next_offset = offset + len(rows)
+        has_more = limit is not None and len(rows) == limit and limit > 0
+        return {
+            "rows": rows,
+            "offset": offset,
+            "limit": limit,
+            "returned": len(rows),
+            "next_offset": next_offset if has_more else None,
+        }
+
+    def metrics_keys(self) -> list[str]:
+        with self._store() as store:
+            return sorted(store.metrics_keys())
+
+    def metrics(self, key_prefix: str, metric: str | None = None) -> dict:
+        """Metrics time-series of one run, addressed by unique key prefix."""
+        with self._store() as store:
+            keys = sorted(store.metrics_keys())
+            matches = [key for key in keys if key.startswith(key_prefix)]
+            if len(matches) != 1:
+                problem = (
+                    f"{len(matches)} stored runs match"
+                    if matches
+                    else "no stored metrics match"
+                )
+                raise NotFound(
+                    f"{problem} key prefix {key_prefix!r}",
+                    matches=matches[:10],
+                )
+            series = store.get_metrics(matches[0], metric=metric)
+        return {
+            "key": matches[0],
+            "series": {
+                name: [[t_ns, value] for t_ns, value in points]
+                for name, points in sorted(series.items())
+            },
+        }

@@ -1,0 +1,116 @@
+"""Tiny method + path-pattern router for the WSGI app.
+
+Routes are ``(method, pattern, handler)`` triples; patterns are plain paths
+with ``{name}`` placeholders that match one path segment and land in
+``Request.params``.  Matching is exact (no prefix routing): an unknown path
+is a 404, a known path under the wrong method a 405 listing the allowed
+methods -- the distinction keeps client mistakes diagnosable from the
+structured error alone.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs
+
+from repro.service.errors import BadRequest, MethodNotAllowed, NotFound
+
+_PLACEHOLDER = re.compile(r"\{([a-z_]+)\}")
+
+
+def compile_pattern(pattern: str) -> re.Pattern:
+    """``/campaigns/{name}`` -> a regex with one named group per placeholder."""
+    parts = []
+    position = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        parts.append(re.escape(pattern[position:match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+)")
+        position = match.end()
+    parts.append(re.escape(pattern[position:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass(frozen=True)
+class Request:
+    """Everything a handler needs, parsed once by the app."""
+
+    method: str
+    path: str
+    params: dict = field(default_factory=dict)   # path placeholders
+    query: dict = field(default_factory=dict)    # first value per query key
+    body: object = None                          # parsed JSON body, or None
+    remote_addr: str = ""
+
+    def query_int(self, name: str, default: int | None = None) -> int | None:
+        """An integer query parameter, or a 400 naming the bad value."""
+        raw = self.query.get(name)
+        if raw is None or raw == "":
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequest(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+
+
+def parse_query(query_string: str) -> dict:
+    """First value per key; repeated keys keep the first occurrence."""
+    parsed = parse_qs(query_string or "", keep_blank_values=True)
+    return {key: values[0] for key, values in parsed.items()}
+
+
+class Router:
+    """Ordered route table; first match wins."""
+
+    def __init__(self):
+        self._routes: list[tuple[str, re.Pattern, Callable]] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        self._routes.append((method.upper(), compile_pattern(pattern), handler))
+
+    def get(self, pattern: str, handler: Callable) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: Callable) -> None:
+        self.add("POST", pattern, handler)
+
+    def dispatch(self, request: Request):
+        """The matching handler's result; raises 404/405 ApiErrors."""
+        allowed: list[str] = []
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            bound = Request(
+                method=request.method,
+                path=request.path,
+                params=match.groupdict(),
+                query=request.query,
+                body=request.body,
+                remote_addr=request.remote_addr,
+            )
+            return handler(bound)
+        if allowed:
+            raise MethodNotAllowed(
+                f"{request.method} not allowed on {request.path}; "
+                f"allowed: {', '.join(sorted(set(allowed)))}",
+                allowed=sorted(set(allowed)),
+            )
+        raise NotFound(f"no route for {request.path}")
+
+
+def parse_json_body(raw: bytes) -> object:
+    """Decode a request body as JSON; empty bodies are ``None``."""
+    if not raw:
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise BadRequest(f"request body is not valid JSON: {error}") from None

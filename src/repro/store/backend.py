@@ -185,11 +185,15 @@ class ResultStore(ABC):
         nrh: int | None = None,
         code_version: str | None = None,
         limit: int | None = None,
+        offset: int = 0,
     ) -> list[RunRecord]:
         """Records matching every given scenario filter (``None`` = any).
 
-        The generic implementation scans :meth:`records`; the SQLite backend
-        overrides it with an indexed ``WHERE`` clause.
+        Results are ordered by key, so ``limit``/``offset`` paginate a large
+        result set deterministically: page N+1 starts exactly where page N
+        stopped, whatever process asks.  The generic implementation scans
+        :meth:`records`; the SQLite backend overrides it with an indexed
+        ``WHERE`` clause plus ``LIMIT``/``OFFSET``.
         """
         filters = {
             "tracker": tracker,
@@ -197,7 +201,9 @@ class ResultStore(ABC):
             "attack": attack,
             "nrh": nrh,
         }
+        offset = max(0, int(offset))
         matched: list[RunRecord] = []
+        skipped = 0
         for record in self.records():
             if code_version is not None and record.code_version != code_version:
                 continue
@@ -205,6 +211,9 @@ class ResultStore(ABC):
                 wanted is not None and record.scenario_field(name) != wanted
                 for name, wanted in filters.items()
             ):
+                continue
+            if skipped < offset:
+                skipped += 1
                 continue
             matched.append(record)
             if limit is not None and len(matched) >= limit:
@@ -264,6 +273,21 @@ class ResultStore(ABC):
     @abstractmethod
     def campaign_names(self) -> tuple[str, ...]:
         """Names of every saved campaign, sorted."""
+
+    def create_campaign(self, name: str, manifest: dict) -> tuple[dict, bool]:
+        """Save ``manifest`` unless a campaign ``name`` already exists.
+
+        Returns ``(manifest, created)``: the stored manifest (the existing
+        one if the name was taken) and whether this call created it.  The
+        generic load-then-save implementation is best-effort; the SQLite
+        backend overrides it with an atomic first-writer-wins transaction so
+        concurrent submitters of the same suite converge on one manifest.
+        """
+        existing = self.load_campaign(name)
+        if existing is not None:
+            return existing, False
+        self.save_campaign(name, manifest)
+        return manifest, True
 
     @abstractmethod
     def delete_campaign(self, name: str) -> bool:
@@ -880,6 +904,7 @@ class SqliteStore(ResultStore):
         nrh: int | None = None,
         code_version: str | None = None,
         limit: int | None = None,
+        offset: int = 0,
     ) -> list[RunRecord]:
         clauses, values = [], []
         for column, wanted in (
@@ -896,9 +921,14 @@ class SqliteStore(ResultStore):
         if clauses:
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY key"
+        offset = max(0, int(offset))
         if limit is not None:
-            sql += " LIMIT ?"
-            values.append(int(limit))
+            sql += " LIMIT ? OFFSET ?"
+            values.extend((int(limit), offset))
+        elif offset:
+            # sqlite requires a LIMIT clause before OFFSET; -1 means "all".
+            sql += " LIMIT -1 OFFSET ?"
+            values.append(offset)
         rows = self._connection.execute(sql, values).fetchall()
         records = (self._record_from_row(row) for row in rows)
         return [record for record in records if record is not None]
@@ -929,6 +959,40 @@ class SqliteStore(ResultStore):
             ),
         )
         self._connection.commit()
+
+    def create_campaign(self, name: str, manifest: dict) -> tuple[dict, bool]:
+        # Coordination write like the lease operations below: the write lock
+        # serialises racing submitters so exactly one manifest is created and
+        # every later caller is handed the stored one.
+        self._begin_immediate()
+        try:
+            row = self._connection.execute(
+                "SELECT manifest FROM campaigns WHERE name = ?", (name,)
+            ).fetchone()
+            if row is not None:
+                self._connection.commit()
+                try:
+                    existing = json.loads(row[0])
+                except ValueError:
+                    existing = None
+                if isinstance(existing, dict):
+                    return existing, False
+                # Unreadable stored manifest: fall through and replace it.
+                self._begin_immediate()
+            self._connection.execute(
+                "INSERT OR REPLACE INTO campaigns (name, created_at, manifest) "
+                "VALUES (?, ?, ?)",
+                (
+                    name,
+                    manifest.get("created_at") or utc_now(),
+                    json.dumps(manifest, default=str),
+                ),
+            )
+            self._connection.commit()
+        except Exception:
+            self._connection.rollback()
+            raise
+        return manifest, True
 
     def load_campaign(self, name: str) -> dict | None:
         row = self._connection.execute(

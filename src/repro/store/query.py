@@ -72,8 +72,14 @@ def query_rows(
     nrh: int | None = None,
     code_version: str | None = None,
     limit: int | None = None,
+    offset: int = 0,
 ) -> list[dict]:
-    """Flattened rows of every stored run matching the given filters."""
+    """Flattened rows of every stored run matching the given filters.
+
+    Rows come back ordered by key, so ``limit`` + ``offset`` page through a
+    large result set deterministically (the service's results endpoint and
+    ``store query --offset`` both paginate through here).
+    """
     records = store.query(
         tracker=tracker,
         workload=workload,
@@ -81,6 +87,7 @@ def query_rows(
         nrh=nrh,
         code_version=code_version,
         limit=limit,
+        offset=offset,
     )
     return [flatten_record(record) for record in records]
 

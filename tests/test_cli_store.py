@@ -95,6 +95,35 @@ class TestCampaignVerbs:
         ) == 0
         assert "matched 2 scenario(s)" in capsys.readouterr().out
 
+    def test_status_report_leases_json_documents(
+        self, tmp_path, suite_path, capsys
+    ):
+        assert _campaign(tmp_path, suite_path) == 0
+        capsys.readouterr()
+        store_arg = ["--store", str(tmp_path / "wh.sqlite")]
+
+        assert main(
+            ["campaign", "status", "cli-campaign", *store_arg, "--json"]
+        ) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["name"] == "cli-campaign"
+        assert status["state"] == "complete" and status["percent"] == 100.0
+
+        assert main(
+            ["campaign", "report", "cli-campaign", *store_arg, "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_rows"] == 2 and report["returned"] == 2
+        assert report["next_offset"] is None
+        assert report["rows"][0]["normalized_performance"] is not None
+
+        # No distributed worker joined: an empty-but-valid lease document.
+        assert main(
+            ["campaign", "leases", "cli-campaign", *store_arg, "--json"]
+        ) == 0
+        leases = json.loads(capsys.readouterr().out)
+        assert leases == {"shards": [], "summary": None}
+
     def test_unknown_campaign_and_bad_suite_exit_2(self, tmp_path, capsys):
         store_arg = ["--store", str(tmp_path / "wh.sqlite")]
         assert main(["campaign", "status", "nope", *store_arg]) == 2
@@ -150,6 +179,25 @@ class TestStoreVerbs:
         assert main(["store", "gc", *store_arg]) == 0
         assert "deleted 1" in capsys.readouterr().out
         assert SqliteStore(store_path).keys() == {"a"}
+
+    def test_query_offset_pages_through_rows(self, tmp_path, capsys):
+        store_path = tmp_path / "wh.sqlite"
+        store = SqliteStore(store_path)
+        for key in ("row-a", "row-b", "row-c"):
+            store.put(self._seed_record(key))
+        store.close()
+        store_arg = ["--store", str(store_path)]
+
+        assert main(
+            ["store", "query", *store_arg, "--limit", "1", "--offset", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "row-b" in out
+        assert "row-a" not in out and "row-c" not in out
+
+        # Offset past the data is an empty table, not an error.
+        assert main(["store", "query", *store_arg, "--offset", "9"]) == 0
+        assert "row-" not in capsys.readouterr().out
 
     def test_import_json_dir_into_warehouse(self, tmp_path, capsys):
         cache = JsonDirStore(tmp_path / "cache")

@@ -693,3 +693,80 @@ class TestFaultInjection:
         Campaign("chaos", load_suite(suite).compile(), serial_store).run()
         assert _stable(campaign_report(store, "chaos")) == \
             _stable(campaign_report(serial_store, "chaos"))
+
+
+class TestSigtermRelease:
+    """SIGTERM is a polite shutdown: the worker releases its lease *now*.
+
+    Unlike the SIGKILL case above (where the shard sits leased to a dead
+    process until the deadline passes), a SIGTERM'd worker exits through the
+    KeyboardInterrupt path -- same exit code as Ctrl-C, lease released
+    immediately.  The lease duration here is a deliberately long 60s so the
+    distinction is observable: a successor drains the released shard right
+    away, with zero reclaims, which could not happen inside the test timeout
+    if the shard were merely waiting out an orphaned lease.
+    """
+
+    def _spawn(self, suite, db, worker_id):
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in (str(src), env.get("PYTHONPATH")) if part
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "campaign", "worker",
+                str(suite), "--store", str(db), "--init",
+                "--worker-id", worker_id, "--shard-size", "2",
+                "--lease-duration", "60",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_sigterm_releases_lease_promptly(self, tmp_path):
+        suite = tmp_path / "suite.json"
+        suite.write_text(json.dumps(DIST_SUITE), encoding="utf-8")
+        db = tmp_path / "wh.sqlite"
+
+        victim = self._spawn(suite, db, "victim")
+        try:
+            # Reuse the fault-injection poll: live leased shard held by victim.
+            TestFaultInjection._wait_for_lease(
+                TestFaultInjection(), db, "victim"
+            )
+            victim.send_signal(signal.SIGTERM)
+            out, err = victim.communicate(timeout=60)
+        finally:
+            if victim.poll() is None:       # pragma: no cover - cleanup
+                victim.kill()
+                victim.communicate(timeout=30)
+        # Same exit code as Ctrl-C: the signal became a KeyboardInterrupt.
+        assert victim.returncode == 130, (victim.returncode, out, err)
+        assert "interrupted" in err
+
+        # The held shard went straight back to the pool -- no worker, no
+        # waiting out the 60s deadline.  (The SIGTERM may also have landed
+        # between shards; either way nothing may be left leased.)
+        store = SqliteStore(db)
+        rows = store.lease_rows("chaos")
+        assert rows, "victim exited before initialising the lease table"
+        assert all(row.state in ("pending", "done") for row in rows)
+        assert all(
+            row.worker is None for row in rows if row.state == "pending"
+        )
+        store.close()
+
+        # A successor claims the released shards as ordinary pending work:
+        # completing inside the timeout with zero reclaims is only possible
+        # because the victim released rather than orphaned its lease.
+        successor = self._spawn(suite, db, "successor")
+        out, err = successor.communicate(timeout=300)
+        assert successor.returncode == 0, (successor.returncode, out, err)
+        assert "0 reclaimed" in out
+        store = SqliteStore(db)
+        status = campaign_status(store, "chaos")
+        assert status.complete and status.percent == 100.0
+        store.close()

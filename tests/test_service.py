@@ -1,0 +1,661 @@
+"""The sweep service: router, rate limiting, repository, WSGI app, HTTP
+end-to-end (submit -> drain -> paginate), and the CLI client verbs.
+
+Unit layers are exercised by calling the WSGI app directly with a synthetic
+environ (no socket); the end-to-end and concurrency tests run a real
+threading HTTP server on an ephemeral port.  Simulation work is kept tiny
+(two trackers, one workload, 200 requests, reduced geometry) so the whole
+module stays fast.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.service import (
+    BadRequest,
+    CampaignRepository,
+    Conflict,
+    NotFound,
+    RateLimiter,
+    ServiceApp,
+    ServiceClient,
+    ServiceError,
+    WorkerPool,
+    make_service_server,
+)
+from repro.service.router import Request, Router, compile_pattern, parse_query
+from repro.store import SqliteStore, query_rows
+from repro.store.campaign import _manifest_keys
+
+SUITE = {
+    "suite": "svc-campaign",
+    "description": "tiny campaign for service tests",
+    "scenarios": [
+        {
+            "family": "cross-product",
+            "params": {
+                "trackers": ["none", "dapper-h"],
+                "attacks": ["none"],
+                "workloads": ["453.povray"],
+                "requests_per_core": 200,
+                "geometry": "reduced",
+            },
+        }
+    ],
+}
+
+#: Same family, different scenario set -- for name-conflict tests.
+OTHER_SUITE = {
+    "suite": "svc-campaign",
+    "scenarios": [
+        {
+            "family": "cross-product",
+            "params": {
+                "trackers": ["graphene"],
+                "attacks": ["none"],
+                "workloads": ["453.povray"],
+                "requests_per_core": 200,
+                "geometry": "reduced",
+            },
+        }
+    ],
+}
+
+
+def wsgi_call(app, method, path, body=None, query="", remote="10.0.0.1"):
+    """Invoke the WSGI app without a socket; returns (status, doc, headers)."""
+    raw = b""
+    if body is not None:
+        raw = body if isinstance(body, bytes) else json.dumps(body).encode()
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "REMOTE_ADDR": remote,
+        "CONTENT_LENGTH": str(len(raw)),
+        "wsgi.input": io.BytesIO(raw),
+    }
+    captured = {}
+
+    def start_response(status, headers):
+        captured["status"] = int(status.split()[0])
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    document = json.loads(b"".join(chunks).decode("utf-8"))
+    return captured["status"], document, captured["headers"]
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "wh.sqlite"
+    SqliteStore(path).close()
+    return path
+
+
+@pytest.fixture()
+def app(store_path):
+    return ServiceApp(CampaignRepository(store_path))
+
+
+# --------------------------------------------------------------------------- #
+# Router
+# --------------------------------------------------------------------------- #
+
+
+class TestRouter:
+    def test_pattern_placeholders_match_one_segment(self):
+        pattern = compile_pattern("/api/v1/campaigns/{name}/report")
+        match = pattern.match("/api/v1/campaigns/demo/report")
+        assert match.groupdict() == {"name": "demo"}
+        assert pattern.match("/api/v1/campaigns/a/b/report") is None
+
+    def test_dispatch_binds_params_and_query(self):
+        router = Router()
+        router.get("/things/{thing}", lambda req: req)
+        bound = router.dispatch(
+            Request(
+                method="GET",
+                path="/things/x",
+                query=parse_query("limit=5&offset="),
+            )
+        )
+        assert bound.params == {"thing": "x"}
+        assert bound.query_int("limit") == 5
+        assert bound.query_int("offset", 0) == 0   # blank -> default
+
+    def test_unknown_path_is_404_wrong_method_405(self):
+        router = Router()
+        router.get("/only-get", lambda req: {})
+        with pytest.raises(NotFound):
+            router.dispatch(Request(method="GET", path="/nope"))
+        with pytest.raises(Exception) as error:
+            router.dispatch(Request(method="POST", path="/only-get"))
+        assert error.value.status == 405
+        assert error.value.details["allowed"] == ["GET"]
+
+    def test_bad_integer_query_is_400(self):
+        request = Request(method="GET", path="/", query={"limit": "ten"})
+        with pytest.raises(BadRequest):
+            request.query_int("limit")
+
+
+# --------------------------------------------------------------------------- #
+# Rate limiting
+# --------------------------------------------------------------------------- #
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRateLimiter:
+    def test_disabled_always_allows(self):
+        limiter = RateLimiter(0.0)
+        assert not limiter.enabled
+        for _ in range(1000):
+            assert limiter.acquire("anyone") == (True, 0.0)
+
+    def test_burst_then_deny_with_retry_hint(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=3, clock=clock)
+        assert [limiter.acquire("c")[0] for _ in range(3)] == [True] * 3
+        allowed, retry_after = limiter.acquire("c")
+        assert not allowed
+        # Empty bucket at 2 tokens/s: next token in 0.5s.
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.acquire("c")[0]
+        assert not limiter.acquire("c")[0]
+        clock.advance(1.0)
+        assert limiter.acquire("c")[0]
+
+    def test_buckets_are_per_key(self):
+        limiter = RateLimiter(rate=1.0, burst=1, clock=FakeClock())
+        assert limiter.acquire("a")[0]
+        assert limiter.acquire("b")[0]
+        assert not limiter.acquire("a")[0]
+
+    def test_negative_rate_is_refused(self):
+        with pytest.raises(ValueError):
+            RateLimiter(-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Repository
+# --------------------------------------------------------------------------- #
+
+
+class TestRepository:
+    def test_submit_rejects_malformed_suites(self, store_path):
+        repository = CampaignRepository(store_path)
+        with pytest.raises(BadRequest):
+            repository.submit(["not", "a", "mapping"])
+        with pytest.raises(BadRequest) as error:
+            repository.submit(
+                {"scenarios": [{"family": "no-such-family", "params": {}}]}
+            )
+        assert "no-such-family" in str(error.value)
+
+    def test_submit_is_idempotent_and_conflicts_on_reuse(self, store_path):
+        repository = CampaignRepository(store_path)
+        first = repository.submit(SUITE)
+        assert first.created and first.name == "svc-campaign"
+        again = repository.submit(SUITE)
+        assert not again.created and again.name == first.name
+        with pytest.raises(Conflict):
+            repository.submit(OTHER_SUITE)
+
+    def test_name_override_and_unknown_campaign(self, store_path):
+        repository = CampaignRepository(store_path)
+        renamed = repository.submit(SUITE, name="renamed")
+        assert renamed.name == "renamed"
+        assert repository.status("renamed")["entries"] == 2
+        with pytest.raises(NotFound):
+            repository.status("never-submitted")
+        with pytest.raises(NotFound):
+            repository.leases("never-submitted")
+        with pytest.raises(NotFound):
+            repository.report("never-submitted")
+
+    def test_results_pages_match_query_rows(self, store_path):
+        from repro.scenarios import parse_suite
+        from repro.sim.sweep import SweepRunner
+
+        store = SqliteStore(store_path)
+        specs = parse_suite(SUITE).compile()
+        SweepRunner(store=store).ensure(
+            [spec for s in specs for spec in (s, s.baseline_spec())]
+        )
+        expected = query_rows(store)
+        store.close()
+        repository = CampaignRepository(store_path)
+        page = repository.results(limit=1, offset=1)
+        assert page["rows"] == expected[1:2]
+        assert page["returned"] == 1 and page["next_offset"] == 2
+        # The final page (page past the data) closes the cursor.
+        assert repository.results(limit=5, offset=1)["next_offset"] is None
+        assert repository.results(offset=len(expected))["rows"] == []
+
+
+# --------------------------------------------------------------------------- #
+# WSGI app (no socket)
+# --------------------------------------------------------------------------- #
+
+
+class TestServiceApp:
+    def test_health(self, app):
+        status, document, headers = wsgi_call(app, "GET", "/api/v1/health")
+        assert status == 200 and document == {"status": "ok"}
+        assert headers["Content-Type"].startswith("application/json")
+
+    def test_structured_404_and_405(self, app):
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/nope")
+        assert status == 404
+        assert document["error"]["code"] == "not_found"
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/campaigns/x/y/z")
+        assert status == 404
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/health", body={}
+        )
+        assert status == 405
+        assert document["error"]["allowed"] == ["GET"]
+
+    def test_submit_body_validation(self, app):
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns", body=b"{not json"
+        )
+        assert status == 400 and "JSON" in document["error"]["message"]
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns", body=["wrong", "shape"]
+        )
+        assert status == 400
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns",
+            body={"scenarios": [{"family": "bogus"}]},
+        )
+        assert status == 400 and "bogus" in document["error"]["message"]
+
+    def test_submit_status_report_leases_flow(self, app):
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns", body=SUITE
+        )
+        assert status == 201
+        assert document["created"] and not document["queued"]
+        assert document["drain"] == "external"     # no pool configured
+        campaign = document["campaign"]
+        assert campaign["name"] == "svc-campaign"
+        assert campaign["state"] == "resumable"
+
+        status, document, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns", body=SUITE
+        )
+        assert status == 200 and not document["created"]
+
+        status, conflict, _ = wsgi_call(
+            app, "POST", "/api/v1/campaigns", body=OTHER_SUITE
+        )
+        assert status == 409
+        assert conflict["error"]["campaign"] == "svc-campaign"
+
+        status, listing, _ = wsgi_call(app, "GET", "/api/v1/campaigns")
+        assert [c["name"] for c in listing["campaigns"]] == ["svc-campaign"]
+        status, single, _ = wsgi_call(
+            app, "GET", "/api/v1/campaigns/svc-campaign"
+        )
+        assert status == 200 and single["entries"] == 2
+        status, leases, _ = wsgi_call(
+            app, "GET", "/api/v1/campaigns/svc-campaign/leases"
+        )
+        assert status == 200 and leases["shards"] == []
+        status, report, _ = wsgi_call(
+            app, "GET", "/api/v1/campaigns/svc-campaign/report",
+            query="offset=0&limit=1",
+        )
+        assert status == 200
+        assert report["rows"] == [] and report["incomplete_entries"] == 2
+
+    def test_results_rejects_bad_pagination(self, app):
+        status, document, _ = wsgi_call(
+            app, "GET", "/api/v1/results", query="limit=ten"
+        )
+        assert status == 400
+        assert "limit" in document["error"]["message"]
+
+    def test_metrics_endpoints(self, app):
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/metrics")
+        assert status == 200 and document == {"keys": []}
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/metrics/none")
+        assert status == 404
+
+    def test_workers_without_pool(self, app):
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/workers")
+        assert status == 200
+        assert document["drain"] == "external" and document["workers"] == []
+
+    def test_rate_limit_429_with_retry_after(self, store_path):
+        clock = FakeClock()
+        app = ServiceApp(
+            CampaignRepository(store_path),
+            rate_limiter=RateLimiter(rate=1.0, burst=2, clock=clock),
+        )
+        assert wsgi_call(app, "GET", "/api/v1/campaigns")[0] == 200
+        assert wsgi_call(app, "GET", "/api/v1/campaigns")[0] == 200
+        status, document, headers = wsgi_call(app, "GET", "/api/v1/campaigns")
+        assert status == 429
+        assert document["error"]["code"] == "rate_limited"
+        assert float(headers["Retry-After"]) >= 1
+        # Health stays reachable for liveness probes, and other clients
+        # have their own bucket.
+        assert wsgi_call(app, "GET", "/api/v1/health")[0] == 200
+        assert wsgi_call(
+            app, "GET", "/api/v1/campaigns", remote="10.9.9.9"
+        )[0] == 200
+        clock.advance(1.0)
+        assert wsgi_call(app, "GET", "/api/v1/campaigns")[0] == 200
+
+
+# --------------------------------------------------------------------------- #
+# Concurrent idempotent submission (real HTTP server)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def live_server(store_path):
+    """A threading HTTP server over a fresh warehouse, no drain pool."""
+    app = ServiceApp(CampaignRepository(store_path))
+    server = make_service_server(app, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    yield url, store_path
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+class TestConcurrentSubmission:
+    def test_racing_posts_converge_on_one_campaign(self, live_server):
+        url, store_path = live_server
+        submitters = 8
+        barrier = threading.Barrier(submitters, timeout=30.0)
+        responses: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+
+        def _post() -> None:
+            request = urllib.request.Request(
+                f"{url}/api/v1/campaigns",
+                data=json.dumps(SUITE).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            barrier.wait()
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+                with lock:
+                    responses.append((response.status, payload))
+
+        threads = [
+            threading.Thread(target=_post) for _ in range(submitters)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(responses) == submitters
+        # Every response names the same campaign; exactly one created it.
+        names = {payload["campaign"]["name"] for _, payload in responses}
+        assert names == {"svc-campaign"}
+        created = [payload["created"] for _, payload in responses]
+        assert created.count(True) == 1
+        assert {status for status, _ in responses} == {200, 201}
+        # Exactly one manifest in the store, with the suite's keys.
+        store = SqliteStore(store_path)
+        assert store.campaign_names() == ("svc-campaign",)
+        manifest = store.load_campaign("svc-campaign")
+        from repro.scenarios import parse_suite
+        from repro.store import build_manifest
+
+        expected = build_manifest(
+            "svc-campaign", parse_suite(SUITE).compile()
+        )
+        assert _manifest_keys(manifest) == _manifest_keys(expected)
+        store.close()
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: submit twice -> drain -> paginate (HTTP + pool)
+# --------------------------------------------------------------------------- #
+
+
+class TestEndToEnd:
+    def test_submit_drain_and_paginate(self, store_path):
+        pool = WorkerPool(
+            str(store_path), workers=2, shard_size=1, lease_duration=60.0
+        )
+        app = ServiceApp(CampaignRepository(store_path), pool=pool)
+        server = make_service_server(app, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        pool.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        try:
+            first = client.submit(SUITE)
+            assert first["created"] and first["queued"]
+            assert first["drain"] == "in-process"
+            second = client.submit(SUITE)
+            assert not second["created"]
+            status = client.wait_complete(
+                "svc-campaign", timeout=300.0, interval=0.2
+            )
+            assert status["percent"] == 100.0
+            assert (
+                status["simulations_stored"] == status["simulations_total"]
+            )
+            leases = client.leases("svc-campaign")
+            assert leases["summary"]["done"] == leases["summary"]["shards"]
+            report = client.report("svc-campaign", offset=1, limit=5)
+            assert report["total_rows"] == 2 and report["returned"] == 1
+            assert report["next_offset"] is None
+
+            # Pagination through the cursor returns exactly the rows the
+            # store query API returns, in the same order.
+            paged = client.all_results(page_size=1)
+            store = SqliteStore(store_path)
+            expected = query_rows(store)
+            store.close()
+            assert json.dumps(paged) == json.dumps(expected)
+
+            # The campaign completes when the last shard is marked done,
+            # slightly before the pool thread returns from run() and books
+            # its own shard count -- poll until the pool is idle again.
+            deadline = time.monotonic() + 60.0
+            while True:
+                workers = client.workers()
+                idle = all(
+                    worker["state"] == "idle"
+                    for worker in workers["workers"]
+                ) and not workers["queued_campaigns"]
+                if idle or time.monotonic() > deadline:
+                    break
+                time.sleep(0.05)
+            assert workers["drain"] == "in-process"
+            drained = sum(
+                worker["shards_completed"]
+                for worker in workers["workers"]
+            )
+            assert drained == leases["summary"]["shards"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            pool.stop(wait=True)
+            thread.join(timeout=10)
+
+    def test_client_error_carries_service_document(self, store_path):
+        app = ServiceApp(CampaignRepository(store_path))
+        server = make_service_server(app, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        try:
+            with pytest.raises(ServiceError) as error:
+                client.status("missing")
+            assert error.value.status == 404
+            assert error.value.document["error"]["code"] == "not_found"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+# --------------------------------------------------------------------------- #
+# CLI: serve/submit/status/results
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def pooled_server(store_path):
+    pool = WorkerPool(
+        str(store_path), workers=1, shard_size=2, lease_duration=60.0
+    )
+    app = ServiceApp(CampaignRepository(store_path), pool=pool)
+    server = make_service_server(app, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    pool.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}", store_path
+    server.shutdown()
+    server.server_close()
+    pool.stop(wait=True)
+    thread.join(timeout=10)
+
+
+class TestCliClient:
+    def test_submit_status_results_roundtrip(
+        self, pooled_server, tmp_path, capsys
+    ):
+        url, store_path = pooled_server
+        suite_path = tmp_path / "suite.json"
+        suite_path.write_text(json.dumps(SUITE), encoding="utf-8")
+
+        assert main(["submit", str(suite_path), "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'svc-campaign' created" in out
+        assert "(queued)" in out
+
+        assert main(["submit", str(suite_path), "--url", url]) == 0
+        assert "already exists" in capsys.readouterr().out
+
+        assert main(
+            [
+                "status", "svc-campaign", "--url", url,
+                "--wait", "--interval", "0.2", "--timeout", "300",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "state         : complete" in out and "(100%)" in out
+
+        # --json output of the client is the status document itself.
+        assert main(["status", "svc-campaign", "--url", url, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["state"] == "complete"
+
+        # results --all --json is byte-identical to a local store export
+        # over the same warehouse.
+        assert main(["results", "--url", url, "--all", "--json"]) == 0
+        api_rows = capsys.readouterr().out
+        assert main(
+            [
+                "store", "export", "--store", str(store_path),
+                "-o", "-", "--format", "json",
+            ]
+        ) == 0
+        assert api_rows == capsys.readouterr().out
+
+        # Aggregation happens client-side over the fetched rows.
+        assert main(
+            ["results", "--url", url, "--all", "--group-by", "tracker"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dapper-h" in out and "runs" in out
+
+        # A bounded page advertises the next cursor on stderr.
+        assert main(["results", "--url", url, "--limit", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "--offset 1" in captured.err
+
+    def test_submit_validation_error_exits_2(self, pooled_server, tmp_path, capsys):
+        url, _ = pooled_server
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"scenarios": "wrong"}), encoding="utf-8")
+        assert main(["submit", str(bad), "--url", url]) == 2
+        assert "scenarios" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_1(self, capsys):
+        assert main(
+            ["status", "x", "--url", "http://127.0.0.1:1", "--timeout", "1"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_smoke_and_sigterm_shutdown(self, tmp_path):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--store", str(tmp_path / "wh.sqlite"),
+                "--port", "0", "--workers", "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no address banner in {banner!r}"
+            url = match.group(0)
+            with urllib.request.urlopen(
+                f"{url}/api/v1/health", timeout=10
+            ) as response:
+                assert json.loads(response.read()) == {"status": "ok"}
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -376,6 +376,35 @@ class TestQueryLayer:
         assert len(json_store.query(tracker="dapper-h")) == 2
         assert len(json_store.query(tracker="dapper-h", limit=1)) == 1
 
+    def test_query_offset_pages_in_stable_key_order(self, tmp_path):
+        for store in (
+            SqliteStore(tmp_path / "wh.sqlite"),
+            JsonDirStore(tmp_path / "cache"),
+        ):
+            for index in range(5):
+                store.put(_record(key=f"k{index}"))
+            keys = [record.key for record in store.query()]
+            assert keys == sorted(keys)
+            assert [r.key for r in store.query(offset=2)] == keys[2:]
+            assert [r.key for r in store.query(offset=1, limit=2)] == keys[1:3]
+            assert store.query(offset=99) == []
+            # A negative offset clamps to the start rather than erroring.
+            assert [r.key for r in store.query(offset=-3, limit=2)] == keys[:2]
+            # Walking fixed-size pages covers every row exactly once.
+            paged = []
+            for offset in range(0, len(keys) + 1, 2):
+                paged.extend(store.query(limit=2, offset=offset))
+            assert [r.key for r in paged] == keys
+
+    def test_query_offset_composes_with_filters(self, tmp_path):
+        store = SqliteStore(tmp_path / "wh.sqlite")
+        for index, tracker in enumerate(("dapper-h", "dapper-h", "graphene")):
+            store.put(_record(key=f"k{index}", tracker=tracker))
+        matches = store.query(tracker="dapper-h")
+        assert store.query(tracker="dapper-h", offset=1) == matches[1:]
+        rows = query_rows(store, tracker="dapper-h", offset=1, limit=1)
+        assert [row["key"] for row in rows] == [matches[1].key]
+
     def test_query_rows_flatten(self, tmp_path):
         store = SqliteStore(tmp_path / "wh.sqlite")
         store.put(_record())
@@ -710,3 +739,45 @@ class TestLeaseClaimRace:
         # Both callers report the same winning plan, whichever one it was.
         assert counts[0] == counts[1] == len(rows)
         assert len(rows) in (1, 2)
+
+    def test_racing_create_campaign_is_first_writer_wins(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        SqliteStore(path).close()
+        workers = 4
+        barrier = threading.Barrier(workers, timeout=10.0)
+        results: list[tuple[dict, bool]] = []
+        lock = threading.Lock()
+
+        def _create(index: int) -> None:
+            store = SqliteStore(path)
+            manifest = {"name": "race", "entries": [], "writer": index}
+            barrier.wait()
+            outcome = store.create_campaign("race", manifest)
+            with lock:
+                results.append(outcome)
+            store.close()
+
+        threads = [
+            threading.Thread(target=_create, args=(index,))
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == workers
+        # Exactly one writer won; every caller got the same stored manifest.
+        assert sum(created for _manifest, created in results) == 1
+        winners = {manifest["writer"] for manifest, _created in results}
+        assert len(winners) == 1
+        store = SqliteStore(path)
+        assert store.campaign_names() == ("race",)
+        assert store.load_campaign("race")["writer"] == winners.pop()
+        store.close()
+
+    def test_create_campaign_generic_backend(self, tmp_path):
+        store = JsonDirStore(tmp_path / "cache")
+        manifest, created = store.create_campaign("c", {"entries": []})
+        assert created and manifest == {"entries": []}
+        again, created = store.create_campaign("c", {"entries": ["other"]})
+        assert not created and again == {"entries": []}
