@@ -98,6 +98,7 @@ import contextlib
 import dataclasses
 import json
 import logging
+import os
 import signal
 import sys
 import threading
@@ -127,11 +128,44 @@ FIGURE_IDS = (1, 2, 3, 4, 5, 9, 10, 11, 12, 13, 14, 15, 16, 17)
 TABLE_IDS = (1, 2, 3, 4)
 
 
+def _horizon_flags() -> argparse.ArgumentParser:
+    """Shared ``--nrh``/``--trefw-scale`` declarations.
+
+    Passed via ``parents=`` to every subcommand that builds a
+    :class:`SystemConfig` horizon, so the flags (and their defaults) are
+    declared exactly once.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--nrh", type=int, default=500)
+    parent.add_argument(
+        "--trefw-scale",
+        type=float,
+        default=1.0 / 16.0,
+        help="refresh-window scale used for short simulation windows",
+    )
+    return parent
+
+
+def _engine_flag() -> argparse.ArgumentParser:
+    """Shared ``--engine`` declaration (scalar / batched / event)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine",
+        choices=("scalar", "batched", "event"),
+        default=None,
+        help="simulation engine (default: REPRO_SIM_ENGINE or batched); "
+        "all engines are bit-identical",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DAPPER (HPCA 2025) reproduction command-line interface",
     )
+    horizon = _horizon_flags()
+    engine = _engine_flag()
     parser.add_argument(
         "-v",
         "--verbose",
@@ -153,22 +187,19 @@ def _build_parser() -> argparse.ArgumentParser:
     list_workloads = sub.add_parser("list-workloads", help="list workload profiles")
     list_workloads.add_argument("--suite", choices=SUITES, default=None)
 
-    run = sub.add_parser("run", help="run one simulation scenario")
+    run = sub.add_parser(
+        "run",
+        help="run one simulation scenario",
+        parents=[horizon, engine],
+    )
     run.add_argument("--tracker", default="dapper-h", choices=available_trackers())
     run.add_argument("--workload", default="429.mcf")
     run.add_argument("--attack", default=None)
-    run.add_argument("--nrh", type=int, default=500)
     run.add_argument("--requests", type=int, default=8_000)
     run.add_argument(
         "--attack-matched-baseline",
         action="store_true",
         help="normalise against a baseline that also runs the attacker",
-    )
-    run.add_argument(
-        "--trefw-scale",
-        type=float,
-        default=1.0 / 16.0,
-        help="refresh-window scale used for short simulation windows",
     )
 
     sub.add_parser("storage", help="regenerate the Table III storage comparison")
@@ -213,6 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a tracker x attack x workload cross-product with caching "
         "and parallel fan-out",
+        parents=[horizon, engine],
     )
     sweep_batch.add_argument(
         "--trackers",
@@ -229,7 +261,6 @@ def _build_parser() -> argparse.ArgumentParser:
         default="429.mcf",
         help="comma-separated workload names",
     )
-    sweep_batch.add_argument("--nrh", type=int, default=500)
     sweep_batch.add_argument("--requests", type=int, default=4_000)
     sweep_batch.add_argument("--seed", type=int, default=None)
     sweep_batch.add_argument(
@@ -254,12 +285,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--attack-matched-baseline",
         action="store_true",
         help="normalise against baselines that also run the attacker",
-    )
-    sweep_batch.add_argument(
-        "--trefw-scale",
-        type=float,
-        default=1.0 / 16.0,
-        help="refresh-window scale used for short simulation windows",
     )
 
     scenarios = sub.add_parser(
@@ -593,13 +618,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run one fully instrumented scenario and write a "
         "Chrome/Perfetto trace",
+        parents=[horizon, engine],
     )
     obs_trace.add_argument(
         "--tracker", default="dapper-h", choices=available_trackers()
     )
     obs_trace.add_argument("--workload", default="429.mcf")
     obs_trace.add_argument("--attack", default=None)
-    obs_trace.add_argument("--nrh", type=int, default=500)
     obs_trace.add_argument(
         "--requests",
         type=int,
@@ -608,19 +633,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "overrides the suite's own budget)",
     )
     obs_trace.add_argument("--seed", type=int, default=None)
-    obs_trace.add_argument(
-        "--trefw-scale",
-        type=float,
-        default=1.0 / 16.0,
-        help="refresh-window scale used for short simulation windows",
-    )
-    obs_trace.add_argument(
-        "--engine",
-        choices=("scalar", "batched"),
-        default=None,
-        help="simulation engine (default: REPRO_SIM_ENGINE or batched); "
-        "both are bit-identical, instrumented or not",
-    )
     obs_trace.add_argument(
         "--suite",
         default=None,
@@ -1811,7 +1823,7 @@ def _cmd_client_status(args: argparse.Namespace) -> int:
 
 def _cmd_results(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient, ServiceError
-    from repro.store import aggregate_rows, export_rows
+    from repro.store import export_rows
 
     client = ServiceClient(args.url)
     filters = dict(
@@ -1821,12 +1833,24 @@ def _cmd_results(args: argparse.Namespace) -> int:
         nrh=args.nrh,
         code_version=args.code_version,
     )
+    next_offset = None
     try:
-        if args.fetch_all:
+        if args.group_by:
+            # Aggregation happens inside the service (one summary row per
+            # group crosses the wire) instead of paging every raw row here.
+            document = client.aggregate_results(
+                group_by=[
+                    name.strip()
+                    for name in args.group_by.split(",")
+                    if name.strip()
+                ],
+                **filters,
+            )
+            rows = document["rows"]
+        elif args.fetch_all:
             rows = client.all_results(
                 page_size=args.limit or 500, **filters
             )
-            next_offset = None
         else:
             page = client.results(
                 limit=args.limit, offset=args.offset, **filters
@@ -1835,14 +1859,6 @@ def _cmd_results(args: argparse.Namespace) -> int:
             next_offset = page["next_offset"]
     except ServiceError as error:
         return _client_error("results", error)
-    if args.group_by:
-        try:
-            rows = aggregate_rows(
-                rows, [name.strip() for name in args.group_by.split(",")]
-            )
-        except ValueError as error:
-            print(f"results: {error}", file=sys.stderr)
-            return 2
     if args.as_json:
         export_rows(rows, "-", format="json")
     else:
@@ -1942,6 +1958,11 @@ def _configure_logging(verbose: int, quiet: int) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+    # One engine selector for every simulating subcommand: the flag (from
+    # the shared _engine_flag parent) overrides REPRO_SIM_ENGINE, which the
+    # engine_class resolver reads wherever a simulator is constructed.
+    if getattr(args, "engine", None):
+        os.environ["REPRO_SIM_ENGINE"] = args.engine
     if args.command == "list-trackers":
         return _cmd_list_trackers()
     if args.command == "list-workloads":

@@ -27,6 +27,8 @@ module provides the file format and the replay generator for that:
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -116,10 +118,16 @@ class FileTraceGenerator:
         if not entries:
             raise ValueError("a trace must contain at least one entry")
         self._entries = list(entries)
+        # Parallel arrays mirror the entry list so ``next_batch`` can slice
+        # instead of unpacking TraceEntry objects per access.
+        self._gaps = [entry.gap_instructions for entry in self._entries]
+        self._addresses = [entry.address for entry in self._entries]
+        self._writes = [entry.is_write for entry in self._entries]
         self.loop = loop
         self.bypasses_llc = bypasses_llc
         self._cursor = 0
         self.replays = 0
+        self._digest = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -133,6 +141,82 @@ class FileTraceGenerator:
         entry = self._entries[self._cursor]
         self._cursor += 1
         return entry
+
+    def next_batch(self, count: int):
+        """Next ``count`` entries as parallel ``(gaps, addresses, writes)``.
+
+        Bit-identical to ``count`` calls of :meth:`next_entry` (same lazy
+        wrap-around, same ``replays`` accounting, same :class:`StopIteration`
+        point for non-looping traces), but built from slices of the
+        pre-split parallel arrays.
+        """
+        gaps: list[int] = []
+        addresses: list[int] = []
+        writes: list[bool] = []
+        total = len(self._entries)
+        remaining = count
+        while remaining > 0:
+            if self._cursor >= total:
+                if not self.loop:
+                    if remaining == count:
+                        raise StopIteration("trace exhausted")
+                    raise StopIteration(
+                        f"trace exhausted {remaining} entries short of a "
+                        f"{count}-entry batch"
+                    )
+                self._cursor = 0
+                self.replays += 1
+            take = min(remaining, total - self._cursor)
+            stop = self._cursor + take
+            gaps.extend(self._gaps[self._cursor:stop])
+            addresses.extend(self._addresses[self._cursor:stop])
+            writes.extend(self._writes[self._cursor:stop])
+            self._cursor = stop
+            remaining -= take
+        return gaps, addresses, writes
+
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical text form of the entries.
+
+        Identifies the trace *content* independent of file path, mtime or
+        formatting, so scenario cache keys survive renames and re-writes.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for gap, address, write in zip(
+                self._gaps, self._addresses, self._writes
+            ):
+                hasher.update(
+                    f"{gap} {address:x} {'W' if write else 'R'}\n".encode()
+                )
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    def state_fingerprint(self):
+        """Compact state fingerprint for the warm-up memo (see
+        :func:`repro.sim.batch._state_fingerprint`); replaces attribute
+        recursion, which would otherwise repr every entry."""
+        return (
+            "file-trace",
+            self.content_digest(),
+            self._cursor,
+            self.replays,
+            self.loop,
+            self.bypasses_llc,
+        )
+
+    def state_snapshot(self) -> tuple:
+        """Mutable state only (see :func:`repro.sim.batch._generator_snapshot`):
+        the entry arrays are immutable, so the warm-up memo need not copy
+        them."""
+        return (self._cursor, self.replays)
+
+    def state_restore(self, state: tuple) -> None:
+        self._cursor, self.replays = state
+
+    def mean_gap_instructions(self) -> float:
+        """Average instruction gap of one full pass over the trace."""
+        return sum(self._gaps) / len(self._gaps)
 
 
 def record_trace(generator: RequestGenerator, num_entries: int) -> list[TraceEntry]:
@@ -165,3 +249,46 @@ def record_workload_trace(
         seed=config.seed if seed is None else seed,
     )
     return record_trace(generator, num_entries)
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """A parsed trace file plus the identity facts scenario plans need."""
+
+    path: str
+    entries: tuple[TraceEntry, ...]
+    digest: str
+    mean_gap: float
+
+
+#: ``(abspath, mtime_ns, size)`` -> :class:`TraceInfo` memo: scenario
+#: expansion and cache-key computation re-read the same trace file many
+#: times per sweep.
+_TRACE_INFO_CACHE: dict = {}
+_TRACE_INFO_CACHE_MAX = 32
+
+
+def load_trace_info(path: str | Path) -> TraceInfo:
+    """Parse (memoized) a trace file into a :class:`TraceInfo`.
+
+    The memo key includes the file's mtime and size, so an edited trace is
+    re-read while repeated scenario expansion over an unchanged file is
+    serviced from memory.
+    """
+    resolved = Path(path).resolve()
+    stat = resolved.stat()
+    key = (str(resolved), stat.st_mtime_ns, stat.st_size)
+    info = _TRACE_INFO_CACHE.get(key)
+    if info is None:
+        entries = read_trace(resolved)
+        generator = FileTraceGenerator(entries)
+        info = TraceInfo(
+            path=str(resolved),
+            entries=tuple(entries),
+            digest=generator.content_digest(),
+            mean_gap=generator.mean_gap_instructions(),
+        )
+        if len(_TRACE_INFO_CACHE) >= _TRACE_INFO_CACHE_MAX:
+            _TRACE_INFO_CACHE.pop(next(iter(_TRACE_INFO_CACHE)))
+        _TRACE_INFO_CACHE[key] = info
+    return info

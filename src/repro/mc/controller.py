@@ -66,6 +66,11 @@ class MemoryController:
         # simulator after warm-up.  None keeps every hook site below a
         # single pointer comparison.
         self.probe = None
+        # Event-source adapter for the discrete-event engine: when set to an
+        # EventBus with RefreshWindow/TrackerEpoch subscribers, window
+        # crossings publish typed events.  None keeps the hot path to a
+        # single pointer comparison per crossed window.
+        self.event_sink = None
         self._last_refresh_window = 0
         # Conservative lower bound (1 ns of slack for float rounding) on the
         # first timestamp at which a new refresh window starts; requests
@@ -329,6 +334,23 @@ class MemoryController:
                 self.probe.on_refresh_window(crossed, now_ns)
             if self.auditor is not None:
                 self.auditor.on_refresh_window(crossed)
+            if self.event_sink is not None:
+                self._emit_window_events(crossed, now_ns)
             self.stats.refresh_windows += 1
         self._last_refresh_window = window
         self._next_window_ns = (window + 1) * trefw - 1.0
+
+    def _emit_window_events(self, window_index: int, now_ns: float) -> None:
+        """Publish window-crossing events to the attached event sink.
+
+        Out of line (and lazily importing the event types) so the refresh
+        bookkeeping above stays import-cycle-free and pays one ``None``
+        check when no discrete-event bus is attached.
+        """
+        from repro.sim.events.events import RefreshWindow, TrackerEpoch
+
+        sink = self.event_sink
+        if sink.wants(RefreshWindow):
+            sink.emit(RefreshWindow(now_ns, window_index))
+        if sink.wants(TrackerEpoch):
+            sink.emit(self.tracker.epoch_event(window_index, now_ns))

@@ -847,3 +847,163 @@ register_family(
         ),
     )
 )
+
+
+# --------------------------------------------------------------------------- #
+# Long-horizon shapes (discrete-event engine territory)
+# --------------------------------------------------------------------------- #
+
+
+def _build_multi_refresh_window(
+    tracker,
+    workload,
+    attack,
+    windows,
+    nrh,
+    seed,
+    trefw_scale,
+    geometry,
+):
+    config = _scenario_config(nrh, trefw_scale, geometry)
+    trackers = (
+        [tracker] if isinstance(tracker, str) else _as_list(tracker, "tracker")
+    )
+    for name in trackers:
+        _check_tracker(name, config)
+    profile = get_workload(_check_workload(workload))
+    attack = None if attack in (None, "none") else _check_attack(attack)
+    windows = int(windows)
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    # Size the budget so the benign issue stream alone (gaps at peak issue
+    # rate, no stalls) spans the requested number of refresh windows; memory
+    # stalls only stretch the run further, so the bound is conservative.
+    peak = config.cores.peak_instructions_per_ns
+    mean_gap = max(1, int(round(1000.0 / profile.apki)))
+    requests = (
+        int(windows * config.timings.trefw_ns * peak / mean_gap * 1.15) + 1
+    )
+    return [
+        ScenarioSpec(
+            tracker=name,
+            workload=workload,
+            attack=attack,
+            seed=seed,
+            requests_per_core=requests,
+            config=config,
+        )
+        for name in trackers
+    ]
+
+
+register_family(
+    ScenarioFamily(
+        name="multi-refresh-window",
+        description="A horizon spanning N full tREFW windows (tracker epoch "
+        "resets included); sized automatically from the workload's APKI.  "
+        "Pair with REPRO_SIM_ENGINE=event for long windows.",
+        builder=_build_multi_refresh_window,
+        parameters=(
+            Parameter("tracker", doc="tracker name, or a list of them"),
+            Parameter("workload", doc="workload name (see list-workloads)"),
+            Parameter("attack", None, "attack name, or None for benign"),
+            Parameter("windows", 2, "refresh windows the run must span"),
+            Parameter("nrh", 500, "RowHammer threshold"),
+            Parameter("seed", None, "scenario seed (None = config default)"),
+            Parameter(
+                "trefw_scale",
+                1.0 / 256.0,
+                "refresh-window scale; 1.0 = the full 32 ms window",
+            ),
+            Parameter(
+                "geometry", "full", "'full' (Table I) or 'reduced' geometry"
+            ),
+        ),
+    )
+)
+
+
+def _build_trace_replay(
+    tracker,
+    trace,
+    cores,
+    attack,
+    nrh,
+    requests_per_core,
+    seed,
+    trefw_scale,
+    geometry,
+):
+    from pathlib import Path
+
+    from repro.cpu.tracefile import load_trace_info
+
+    config = _scenario_config(nrh, trefw_scale, geometry)
+    _check_tracker(tracker, config)
+    attackers = (
+        []
+        if attack in (None, "none")
+        else [CoreAssignment(role="attack", name=_check_attack(attack))]
+    )
+    cores = int(cores)
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    num_cores = config.cores.num_cores
+    if len(attackers) + cores > num_cores:
+        raise ValueError(
+            f"{len(attackers)} attacker + {cores} trace core(s) exceed the "
+            f"{num_cores}-core system"
+        )
+    trace_path = str(trace)
+    info = load_trace_info(trace_path)  # validates the file up front
+    plan = tuple(
+        attackers
+        + [CoreAssignment(role="trace", trace=trace_path)] * cores
+        + [CoreAssignment(role="idle")]
+        * (num_cores - len(attackers) - cores)
+    )
+    requests = (
+        len(info.entries)
+        if requests_per_core is None
+        else int(requests_per_core)
+    )
+    return [
+        ScenarioSpec(
+            tracker=tracker,
+            workload=f"trace:{Path(trace_path).name}",
+            seed=seed,
+            requests_per_core=requests,
+            config=config,
+            core_plan=plan,
+        )
+    ]
+
+
+register_family(
+    ScenarioFamily(
+        name="trace-replay",
+        description="Replay a recorded trace file (cpu/tracefile.py format) "
+        "on N cores, optionally next to an attacker.  Budget defaults to one "
+        "full pass over the trace.",
+        builder=_build_trace_replay,
+        parameters=(
+            Parameter("tracker", "none", "tracker name"),
+            Parameter("trace", doc="path to a trace file"),
+            Parameter("cores", 1, "how many cores replay the trace"),
+            Parameter("attack", None, "attack name, or None for benign"),
+            Parameter("nrh", 500, "RowHammer threshold"),
+            Parameter(
+                "requests_per_core",
+                None,
+                "budget per trace core (None = one full trace pass)",
+            ),
+            Parameter("seed", None, "scenario seed (None = config default)"),
+            Parameter(
+                "trefw_scale", DEFAULT_TREFW_SCALE, "refresh-window scale"
+            ),
+            Parameter(
+                "geometry", "full", "'full' (Table I) or 'reduced' geometry"
+            ),
+        ),
+    )
+)

@@ -11,7 +11,9 @@ GET       ``/campaigns``                  list campaigns with completion state
 GET       ``/campaigns/{name}``           one campaign's status document
 GET       ``/campaigns/{name}/leases``    per-shard lease table
 GET       ``/campaigns/{name}/report``    result rows (``offset``/``limit``)
+GET       ``/campaigns/{name}/aggregate`` grouped report summary (``group-by``)
 GET       ``/results``                    flattened runs (filters + pagination)
+GET       ``/results/aggregate``          grouped runs summary (``group-by``)
 GET       ``/metrics``                    run keys with metrics stored
 GET       ``/metrics/{key}``              one run's metrics series (``?metric=``)
 GET       ``/workers``                    in-process drain pool state
@@ -71,7 +73,11 @@ class ServiceApp:
         self.router.get("/api/v1/campaigns/{name}", self._status)
         self.router.get("/api/v1/campaigns/{name}/leases", self._leases)
         self.router.get("/api/v1/campaigns/{name}/report", self._report)
+        self.router.get(
+            "/api/v1/campaigns/{name}/aggregate", self._aggregate_report
+        )
         self.router.get("/api/v1/results", self._results)
+        self.router.get("/api/v1/results/aggregate", self._aggregate_results)
         self.router.get("/api/v1/metrics", self._metrics_keys)
         self.router.get("/api/v1/metrics/{key}", self._metrics)
         self.router.get("/api/v1/workers", self._workers)
@@ -210,6 +216,41 @@ class ServiceApp:
             code_version=request.query.get("code_version") or None,
             limit=request.query_int("limit"),
             offset=request.query_int("offset", 0),
+        )
+
+    @staticmethod
+    def _csv_query(request: Request, name: str) -> list[str]:
+        raw = request.query.get(name) or request.query.get(
+            name.replace("-", "_")
+        ) or ""
+        return [part.strip() for part in raw.split(",") if part.strip()]
+
+    def _aggregate_report(self, request: Request):
+        group_by = self._csv_query(request, "group-by")
+        if not group_by:
+            raise BadRequest(
+                "the aggregate endpoint needs ?group-by=<column>[,<column>...]"
+            )
+        return self.repository.aggregate_report(
+            request.params["name"],
+            group_by=group_by,
+            metrics=self._csv_query(request, "metrics") or None,
+        )
+
+    def _aggregate_results(self, request: Request):
+        group_by = self._csv_query(request, "group-by")
+        if not group_by:
+            raise BadRequest(
+                "the aggregate endpoint needs ?group-by=<column>[,<column>...]"
+            )
+        return self.repository.aggregate_results(
+            group_by=group_by,
+            metrics=self._csv_query(request, "metrics") or None,
+            tracker=request.query.get("tracker") or None,
+            workload=request.query.get("workload") or None,
+            attack=request.query.get("attack") or None,
+            nrh=request.query_int("nrh"),
+            code_version=request.query.get("code_version") or None,
         )
 
     def _metrics_keys(self, request: Request):

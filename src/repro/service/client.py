@@ -130,6 +130,36 @@ class ServiceClient:
             },
         )
 
+    def aggregate_report(
+        self,
+        name: str,
+        group_by: list[str],
+        metrics: list[str] | None = None,
+    ) -> dict:
+        return self.request(
+            "GET", f"/api/v1/campaigns/{name}/aggregate",
+            query={
+                "group-by": ",".join(group_by),
+                "metrics": ",".join(metrics) if metrics else None,
+            },
+        )
+
+    def aggregate_results(
+        self,
+        group_by: list[str],
+        metrics: list[str] | None = None,
+        **filters,
+    ) -> dict:
+        """One summary row per group, aggregated inside the service."""
+        return self.request(
+            "GET", "/api/v1/results/aggregate",
+            query={
+                "group-by": ",".join(group_by),
+                "metrics": ",".join(metrics) if metrics else None,
+                **filters,
+            },
+        )
+
     def all_results(self, page_size: int = 500, **filters) -> list[dict]:
         """Every matching row, fetched page by page through the cursor."""
         rows: list[dict] = []

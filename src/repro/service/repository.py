@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from repro.scenarios import parse_suite
 from repro.sim.sweep import ScenarioSpec
 from repro.store import (
+    aggregate_rows,
     build_manifest,
     campaign_report,
     campaign_status,
@@ -205,6 +206,84 @@ class CampaignRepository:
             "limit": limit,
             "returned": len(rows),
             "next_offset": next_offset if has_more else None,
+        }
+
+    #: Default summary metrics for campaign-report aggregation (the report
+    #: rows carry the paper's headline metrics, not the raw-run columns).
+    REPORT_AGGREGATE_METRICS = (
+        "normalized_performance",
+        "slowdown_percent",
+        "mitigations_issued",
+        "dram_activations",
+        "energy_overhead_percent",
+        "elapsed_seconds",
+    )
+
+    def aggregate_report(
+        self,
+        name: str,
+        group_by: list[str],
+        metrics: list[str] | None = None,
+    ) -> dict:
+        """Server-side grouped summary of one campaign's report rows."""
+        with self._store() as store:
+            try:
+                report = campaign_report(store, name)
+            except ValueError as error:
+                raise NotFound(str(error)) from None
+        try:
+            rows = aggregate_rows(
+                report["rows"],
+                group_by,
+                metrics or self.REPORT_AGGREGATE_METRICS,
+            )
+        except ValueError as error:
+            raise BadRequest(str(error)) from None
+        return {
+            "campaign": report["campaign"],
+            "group_by": list(group_by),
+            "rows": rows,
+            "source_rows": len(report["rows"]),
+            "incomplete_entries": report["incomplete_entries"],
+        }
+
+    def aggregate_results(
+        self,
+        group_by: list[str],
+        metrics: list[str] | None = None,
+        tracker: str | None = None,
+        workload: str | None = None,
+        attack: str | None = None,
+        nrh: int | None = None,
+        code_version: str | None = None,
+    ) -> dict:
+        """Grouped summary over every stored run matching the filters.
+
+        This is the server-side counterpart of ``results --group-by``: the
+        grouping runs next to the warehouse, so clients receive one summary
+        row per group instead of paging every raw row over the wire.
+        """
+        with self._store() as store:
+            rows = query_rows(
+                store,
+                tracker=tracker,
+                workload=workload,
+                attack=attack,
+                nrh=nrh,
+                code_version=code_version,
+            )
+        try:
+            aggregated = (
+                aggregate_rows(rows, group_by, metrics)
+                if metrics
+                else aggregate_rows(rows, group_by)
+            )
+        except ValueError as error:
+            raise BadRequest(str(error)) from None
+        return {
+            "group_by": list(group_by),
+            "rows": aggregated,
+            "source_rows": len(rows),
         }
 
     def metrics_keys(self) -> list[str]:

@@ -63,7 +63,14 @@ def _state_fingerprint(value, depth: int = 0):
     every attribute that ``next_entry`` can read (RNG state included).  Types
     the recursion does not recognise fall back to ``repr``; an address-bearing
     repr merely misses the cache, it can never produce a wrong hit.
+
+    Objects may opt out of attribute recursion by providing their own
+    ``state_fingerprint()`` (file-backed trace generators hash their entry
+    list once instead of reproducing it attribute by attribute).
     """
+    custom = getattr(value, "state_fingerprint", None)
+    if custom is not None and callable(custom):
+        return custom()
     if isinstance(value, XorShift64):
         block = value._block
         return (
@@ -93,6 +100,20 @@ def _state_fingerprint(value, depth: int = 0):
             for k, v in sorted(vars(value).items())
         )
     return repr(value)
+
+
+def _generator_snapshot(generator):
+    """Capture a generator's mutable state for the warm-up memo.
+
+    Generators may expose ``state_snapshot``/``state_restore`` to avoid the
+    default deep copy of their whole ``__dict__`` -- trace replay carries
+    thousands of immutable entries but only a cursor's worth of mutable
+    state.
+    """
+    snapshot = getattr(generator, "state_snapshot", None)
+    if snapshot is not None and callable(snapshot):
+        return snapshot()
+    return copy.deepcopy(vars(generator))
 
 
 #: Post-warm-up (generator state, LLC set contents) memo, keyed by the full
@@ -228,7 +249,14 @@ class BatchedSimulator(Simulator):
         if cached is not None:
             generator_states, set_states = cached
             for core, state in zip(warm_cores, generator_states):
-                core.generator.__dict__.update(copy.deepcopy(state))
+                # Generators with a snapshot/restore protocol (e.g. trace
+                # replay, whose entry arrays are immutable) restore in O(1)
+                # instead of deep-copying their whole state dict back.
+                restore = getattr(core.generator, "state_restore", None)
+                if restore is not None and callable(restore):
+                    restore(state)
+                else:
+                    core.generator.__dict__.update(copy.deepcopy(state))
             for live, stored in zip(sets, set_states):
                 live.clear()
                 live.update(stored)
@@ -296,7 +324,7 @@ class BatchedSimulator(Simulator):
             if len(_WARM_CACHE) >= _WARM_CACHE_MAX:
                 _WARM_CACHE.pop(next(iter(_WARM_CACHE)))
             _WARM_CACHE[cache_key] = (
-                [copy.deepcopy(vars(core.generator)) for core in warm_cores],
+                [_generator_snapshot(core.generator) for core in warm_cores],
                 [s.copy() for s in sets],
             )
 
@@ -570,19 +598,29 @@ class BatchedSimulator(Simulator):
 
 _ENGINES = {"scalar": Simulator, "batched": BatchedSimulator}
 
+#: Engines registered lazily on first request, keeping this module's import
+#: graph free of the subsystems they pull in.
+_LAZY_ENGINES = {"event": "repro.sim.events.engine:EventDrivenSimulator"}
+
 
 def engine_class(name: str | None = None) -> type[Simulator]:
     """Resolve a simulation engine by name.
 
     ``None`` falls back to the ``REPRO_SIM_ENGINE`` environment variable and
-    then to ``"batched"``.  Both engines produce bit-identical results; the
-    scalar engine exists as the reference model and as an escape hatch.
+    then to ``"batched"``.  All engines produce bit-identical results:
+    ``scalar`` is the reference model (and escape hatch), ``batched`` the
+    default hot path, ``event`` the discrete-event core for long idle-heavy
+    horizons (:mod:`repro.sim.events`).
     """
     chosen = name or os.environ.get("REPRO_SIM_ENGINE") or "batched"
+    if chosen not in _ENGINES and chosen in _LAZY_ENGINES:
+        module_name, _, attribute = _LAZY_ENGINES[chosen].partition(":")
+        module = __import__(module_name, fromlist=[attribute])
+        _ENGINES[chosen] = getattr(module, attribute)
     try:
         return _ENGINES[chosen]
     except KeyError:
         raise ValueError(
             f"unknown simulation engine {chosen!r}; "
-            f"expected one of {sorted(_ENGINES)}"
+            f"expected one of {sorted(_ENGINES.keys() | _LAZY_ENGINES.keys())}"
         ) from None

@@ -1,0 +1,47 @@
+"""Discrete-event simulation core.
+
+* :mod:`repro.sim.events.events` -- typed event classes and the
+  :class:`EventBus` subscription fabric (dependency-free).
+* :mod:`repro.sim.events.queue` -- the monotonic :class:`EventQueue` with
+  stable tie-breaking.
+* :mod:`repro.sim.events.engine` -- :class:`EventDrivenSimulator`, the
+  ``engine="event"`` / ``REPRO_SIM_ENGINE=event`` engine.
+
+The engine module is imported lazily (it pulls in the full simulator stack);
+``from repro.sim.events import EventDrivenSimulator`` still works via PEP 562.
+"""
+
+from repro.sim.events.events import (
+    BankActivate,
+    BankPrecharge,
+    CoreIssue,
+    Event,
+    EventBus,
+    RefreshTick,
+    RefreshWindow,
+    ServiceComplete,
+    TrackerEpoch,
+)
+from repro.sim.events.queue import EventQueue
+
+__all__ = [
+    "BankActivate",
+    "BankPrecharge",
+    "CoreIssue",
+    "Event",
+    "EventBus",
+    "EventDrivenSimulator",
+    "EventQueue",
+    "RefreshTick",
+    "RefreshWindow",
+    "ServiceComplete",
+    "TrackerEpoch",
+]
+
+
+def __getattr__(name: str):
+    if name == "EventDrivenSimulator":
+        from repro.sim.events.engine import EventDrivenSimulator
+
+        return EventDrivenSimulator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

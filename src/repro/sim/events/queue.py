@@ -1,0 +1,56 @@
+"""The monotonic event queue driving the discrete-event engine.
+
+A thin, typed wrapper over :mod:`heapq`: entries are ``(time_ns, sequence,
+event)`` triples where ``sequence`` is a monotonically increasing push
+counter.  Two properties matter:
+
+* **Stable tie-breaking.**  Events scheduled for the same instant pop in
+  push order.  This is exactly the ordering rule of the scalar engine's
+  ``(time, sequence, core_id)`` scheduler heap, which is what lets the
+  event engine reproduce the reference service order bit-for-bit.
+* **Events never compare.**  ``sequence`` is unique, so comparison never
+  falls through to the event object itself; arbitrary (even unorderable)
+  event payloads are fine.
+
+The queue is deliberately free of any :mod:`repro` dependency so it can be
+reused by ad-hoc tooling without importing the simulator stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.sim.events.events import Event
+
+
+class EventQueue:
+    """Min-heap of events ordered by ``(time_ns, push sequence)``."""
+
+    __slots__ = ("_heap", "_sequence")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event`` at its ``time_ns``."""
+        heapq.heappush(self._heap, (event.time_ns, self._sequence, event))
+        self._sequence += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (FIFO among ties)."""
+        return heapq.heappop(self._heap)[2]
+
+    def head_time(self) -> float:
+        """Time of the earliest scheduled event (queue must be non-empty)."""
+        return self._heap[0][0]
+
+    def peek(self) -> Event:
+        """The earliest event without removing it (queue must be non-empty)."""
+        return self._heap[0][2]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.attacks import attack_by_name
 from repro.config import SystemConfig, baseline_config
 from repro.cpu.trace import TraceEntry, WorkloadTraceGenerator, generator_batch
+from repro.cpu.tracefile import FileTraceGenerator
 from repro.cpu.workloads import WorkloadProfile, get_workload
 from repro.dram.address import AddressMapper, RowAddress
 from repro.sim.batch import engine_class
@@ -194,6 +195,16 @@ def build_core_specs_from_plan(
                     mean_gap_instructions=1.0 / rate,
                     is_attacker=True,
                     max_outstanding_override=max(1, int(ATTACKER_MLP * rate)),
+                )
+            )
+            continue
+        if assignment.role == "trace":
+            info = assignment.trace_info()
+            specs.append(
+                CoreSpec(
+                    generator=FileTraceGenerator(info.entries, loop=True),
+                    request_budget=requests_per_core,
+                    mean_gap_instructions=info.mean_gap,
                 )
             )
             continue

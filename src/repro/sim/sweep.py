@@ -86,6 +86,12 @@ class CoreAssignment:
         ``(0, 1]`` scales the attacker's aggressiveness: 1.0 is the paper's
         full-rate attacker, smaller values throttle both its issue rate and
         its memory-level parallelism proportionally.
+    ``"trace"``
+        The core replays a recorded trace file (``trace`` is the path; see
+        :mod:`repro.cpu.tracefile`) through a
+        :class:`~repro.cpu.tracefile.FileTraceGenerator`, looping when the
+        budget outlasts the file.  Trace cores hash by the trace *content*
+        (SHA-256), not the path.
     ``"idle"``
         The core issues no memory traffic (used by plan baselines, where
         attacker cores are replaced by idle cores).
@@ -96,12 +102,13 @@ class CoreAssignment:
     profile: WorkloadProfile | None = None
     intensity: float = 1.0
     hammer_rate: float = 1.0
+    trace: str | None = None
 
     def __post_init__(self):
-        if self.role not in ("workload", "attack", "idle"):
+        if self.role not in ("workload", "attack", "trace", "idle"):
             raise ValueError(
                 f"unknown core role {self.role!r}; "
-                "expected 'workload', 'attack' or 'idle'"
+                "expected 'workload', 'attack', 'trace' or 'idle'"
             )
         if self.role == "workload":
             if self.name is None and self.profile is None:
@@ -115,6 +122,10 @@ class CoreAssignment:
                 raise ValueError(
                     f"hammer_rate must be in (0, 1], got {self.hammer_rate}"
                 )
+        if self.role == "trace" and not self.trace:
+            raise ValueError("trace assignment needs a trace file path")
+        if self.role != "trace" and self.trace is not None:
+            raise ValueError(f"{self.role!r} assignment takes no trace path")
         if self.role == "idle" and (self.name or self.profile is not None):
             raise ValueError("idle assignment takes no workload or attack")
 
@@ -131,6 +142,14 @@ class CoreAssignment:
         profile = self.profile if self.profile is not None else get_workload(self.name)
         return scale_profile(profile, self.intensity)
 
+    def trace_info(self):
+        """Parsed (memoized) trace file of a ``"trace"`` assignment."""
+        if self.role != "trace":
+            raise ValueError(f"{self.role!r} assignment has no trace file")
+        from repro.cpu.tracefile import load_trace_info
+
+        return load_trace_info(self.trace)
+
     def label(self) -> str:
         """Compact human-readable form used by reports and ``describe()``."""
         if self.role == "idle":
@@ -138,6 +157,10 @@ class CoreAssignment:
         if self.role == "attack":
             suffix = "" if self.hammer_rate == 1.0 else f"@r{self.hammer_rate:g}"
             return f"attack:{self.name}{suffix}"
+        if self.role == "trace":
+            from pathlib import Path
+
+            return f"trace:{Path(self.trace).name}"
         name = self.name if self.name is not None else self.profile.name
         suffix = "" if self.intensity == 1.0 else f"@x{self.intensity:g}"
         return f"{name}{suffix}"
@@ -182,8 +205,12 @@ class ScenarioSpec:
                     "attacker(s) into the plan instead"
                 )
             object.__setattr__(self, "core_plan", tuple(self.core_plan))
-            if not any(a.role == "workload" for a in self.core_plan):
-                raise ValueError("core_plan needs at least one workload core")
+            if not any(
+                a.role in ("workload", "trace") for a in self.core_plan
+            ):
+                raise ValueError(
+                    "core_plan needs at least one workload or trace core"
+                )
         # Warm-up only applies to attack scenarios; canonicalise so benign
         # specs that differ only in the (unused) warm-up cap hash identically.
         if not self.has_attacker and self.attack_warmup_activations != 0:
@@ -280,6 +307,13 @@ class ScenarioSpec:
                         else None
                     ),
                     "hammer_rate": a.hammer_rate if a.is_attacker else 1.0,
+                    # Trace cores hash by content, not path: a renamed or
+                    # re-written but byte-identical trace shares entries.
+                    **(
+                        {"trace_digest": a.trace_info().digest}
+                        if a.role == "trace"
+                        else {}
+                    ),
                 }
                 for a in self.core_plan
             ]

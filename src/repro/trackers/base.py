@@ -177,6 +177,17 @@ class RowHammerTracker(abc.ABC):
         """Hook called when the simulation crosses a tREFW boundary."""
         return EMPTY_RESPONSE
 
+    def epoch_event(self, window_index: int, now_ns: float):
+        """Event-source adapter: this tracker's mitigation-epoch event.
+
+        Published by the memory controller right after
+        :meth:`on_refresh_window` whenever the discrete-event engine's bus
+        has a :class:`~repro.sim.events.events.TrackerEpoch` subscriber.
+        """
+        from repro.sim.events.events import TrackerEpoch
+
+        return TrackerEpoch(now_ns, window_index, self.name)
+
     # ------------------------------------------------------------------ #
     # Reporting / configuration
     # ------------------------------------------------------------------ #

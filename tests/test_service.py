@@ -255,6 +255,41 @@ class TestRepository:
         assert repository.results(limit=5, offset=1)["next_offset"] is None
         assert repository.results(offset=len(expected))["rows"] == []
 
+    def test_aggregate_results_and_report(self, store_path):
+        from repro.scenarios import parse_suite
+        from repro.sim.sweep import SweepRunner
+        from repro.store import aggregate_rows
+
+        store = SqliteStore(store_path)
+        specs = parse_suite(SUITE).compile()
+        SweepRunner(store=store).ensure(
+            [spec for s in specs for spec in (s, s.baseline_spec())]
+        )
+        stored = query_rows(store)
+        expected = aggregate_rows(stored, ["tracker"])
+        store.close()
+        repository = CampaignRepository(store_path)
+        repository.submit(SUITE)
+
+        document = repository.aggregate_results(["tracker"])
+        assert document["rows"] == expected
+        assert document["source_rows"] == len(stored)
+
+        report = repository.aggregate_report("svc-campaign", ["tracker"])
+        assert report["campaign"]["name"] == "svc-campaign"
+        assert report["incomplete_entries"] == 0
+        assert {row["tracker"] for row in report["rows"]} == {
+            "none", "dapper-h",
+        }
+        for row in report["rows"]:
+            assert "normalized_performance_mean" in row
+            assert "slowdown_percent_mean" in row
+
+        with pytest.raises(BadRequest):
+            repository.aggregate_results([])
+        with pytest.raises(NotFound):
+            repository.aggregate_report("never-submitted", ["tracker"])
+
 
 # --------------------------------------------------------------------------- #
 # WSGI app (no socket)
@@ -339,6 +374,48 @@ class TestServiceApp:
         )
         assert status == 400
         assert "limit" in document["error"]["message"]
+
+    def test_aggregate_endpoints(self, store_path):
+        from repro.scenarios import parse_suite
+        from repro.sim.sweep import SweepRunner
+
+        store = SqliteStore(store_path)
+        specs = parse_suite(SUITE).compile()
+        SweepRunner(store=store).ensure(
+            [spec for s in specs for spec in (s, s.baseline_spec())]
+        )
+        store.close()
+        app = ServiceApp(CampaignRepository(store_path))
+        wsgi_call(app, "POST", "/api/v1/campaigns", body=SUITE)
+
+        status, document, _ = wsgi_call(
+            app, "GET", "/api/v1/results/aggregate", query="group-by=tracker"
+        )
+        assert status == 200
+        assert {row["tracker"] for row in document["rows"]} == {
+            "none", "dapper-h",
+        }
+
+        # group-by is required; its absence is a structured 400.
+        status, document, _ = wsgi_call(app, "GET", "/api/v1/results/aggregate")
+        assert status == 400
+        assert "group-by" in document["error"]["message"]
+
+        status, document, _ = wsgi_call(
+            app, "GET", "/api/v1/campaigns/svc-campaign/aggregate",
+            query="group-by=workload&metrics=slowdown_percent",
+        )
+        assert status == 200
+        assert document["group_by"] == ["workload"]
+        assert document["rows"]
+        for row in document["rows"]:
+            assert "slowdown_percent_mean" in row
+
+        status, document, _ = wsgi_call(
+            app, "GET", "/api/v1/campaigns/ghost/aggregate",
+            query="group-by=tracker",
+        )
+        assert status == 404
 
     def test_metrics_endpoints(self, app):
         status, document, _ = wsgi_call(app, "GET", "/api/v1/metrics")

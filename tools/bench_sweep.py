@@ -125,26 +125,102 @@ def _profile_stages(specs) -> dict[str, float]:
     }
 
 
+def _longhorizon_case(tmp: Path, requests: int) -> dict:
+    """Idle-heavy long-horizon case: the event engine vs the scalar reference.
+
+    Replays a hot-set trace (256 distinct lines, inter-access gaps far above
+    the LLC hit latency) for ``requests`` accesses on one core next to idle
+    cores -- the shape the event engine's quiescent stretch executor exists
+    for.  Both engines run the same spec; the case records their wall-clock
+    and asserts bit-identical results.
+    """
+    import random
+
+    from repro.cpu.trace import TraceEntry
+    from repro.cpu.tracefile import write_trace
+    from repro.sim.experiment import run_workload
+
+    rng = random.Random(7)
+    entries = [
+        TraceEntry(
+            gap_instructions=rng.randint(2_500, 7_500),
+            address=(1 << 20) + 64 * rng.randrange(256),
+            is_write=rng.random() < 0.25,
+        )
+        for _ in range(16_384)
+    ]
+    trace_path = tmp / "longhorizon.trace"
+    write_trace(trace_path, entries, header="bench: hot-set idle-heavy trace")
+    # The full 32 ms window is the whole point: most of the horizon is
+    # idle stretch between sparse hits, which the event engine skips.
+    spec = family_by_name("trace-replay").expand(
+        {
+            "tracker": "graphene",
+            "trace": str(trace_path),
+            "requests_per_core": requests,
+            "geometry": "reduced",
+            "nrh": 500,
+            "trefw_scale": 1.0,
+        }
+    )[0]
+
+    def _one(engine: str):
+        started = time.perf_counter()
+        result = run_workload(
+            config=spec.config,
+            tracker=spec.tracker,
+            workload=spec.workload,
+            requests_per_core=spec.requests_per_core,
+            seed=spec.seed,
+            llc_warmup_accesses=spec.llc_warmup_accesses,
+            core_plan=spec.core_plan,
+            engine=engine,
+        )
+        return time.perf_counter() - started, result
+
+    scalar_seconds, scalar_result = _one("scalar")
+    event_seconds, event_result = _one("event")
+    return {
+        "scenario": "trace-replay (hot-set, idle-heavy)",
+        "trace_entries": len(entries),
+        "requests_per_core": requests,
+        "scalar_seconds": scalar_seconds,
+        "event_seconds": event_seconds,
+        "parity": scalar_result.to_dict() == event_result.to_dict(),
+        "speedup": (
+            scalar_seconds / event_seconds if event_seconds > 0 else None
+        ),
+    }
+
+
+#: Speedup ratios gated by --baseline, with a human-readable label each.
+_GATED_SPEEDUPS = (
+    ("speedup_batched_vs_scalar", "batched-vs-scalar"),
+    ("speedup_event_vs_scalar", "event-vs-scalar (long horizon)"),
+)
+
+
 def check_baseline(report: dict, baseline: dict, max_regression: float) -> str | None:
     """Compare a fresh report against a committed baseline report.
 
-    Returns an error message when the batched engine's serial-mode speedup
-    over the scalar reference regressed by more than ``max_regression``
-    (a fraction: 0.25 allows a 25% slowdown), or ``None`` when the run is
-    acceptable.  Reports that predate the speedup field are skipped rather
-    than failed, so the gate cannot break on schema evolution.
+    Returns an error message when a gated engine speedup over the scalar
+    reference regressed by more than ``max_regression`` (a fraction: 0.25
+    allows a 25% slowdown), or ``None`` when the run is acceptable.
+    Reports that predate a speedup field skip that gate rather than fail,
+    so the gate cannot break on schema evolution.
     """
-    current = report.get("speedup_batched_vs_scalar")
-    reference = baseline.get("speedup_batched_vs_scalar")
-    if not current or not reference:
-        return None
-    floor = reference * (1.0 - max_regression)
-    if current < floor:
-        return (
-            f"serial-mode regression: batched-vs-scalar speedup {current:.2f}x "
-            f"is below {floor:.2f}x ({(1.0 - max_regression):.0%} of the "
-            f"committed baseline's {reference:.2f}x)"
-        )
+    for field, label in _GATED_SPEEDUPS:
+        current = report.get(field)
+        reference = baseline.get(field)
+        if not current or not reference:
+            continue
+        floor = reference * (1.0 - max_regression)
+        if current < floor:
+            return (
+                f"regression: {label} speedup {current:.2f}x is below "
+                f"{floor:.2f}x ({(1.0 - max_regression):.0%} of the "
+                f"committed baseline's {reference:.2f}x)"
+            )
     return None
 
 
@@ -153,6 +229,13 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default="BENCH_sweep.json")
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--requests", type=int, default=1500)
+    parser.add_argument(
+        "--longhorizon-requests",
+        type=int,
+        default=4_000_000,
+        help="request budget of the idle-heavy long-horizon case (event "
+        "engine vs scalar reference)",
+    )
     parser.add_argument(
         "--store",
         default=None,
@@ -252,6 +335,22 @@ def main(argv=None) -> int:
             f"{name} {seconds:.2f}s" for name, seconds in top
         ))
 
+        longhorizon = _longhorizon_case(
+            Path(tmp), args.longhorizon_requests
+        )
+        if not longhorizon["parity"]:
+            print(
+                "ERROR: event engine diverged from the scalar reference "
+                "on the long-horizon case",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"long horizon: scalar {longhorizon['scalar_seconds']:.1f}s, "
+            f"event {longhorizon['event_seconds']:.1f}s "
+            f"({longhorizon['speedup']:.1f}x)"
+        )
+
     def _ratio(numerator, denominator):
         return numerator / denominator if denominator > 0 else None
 
@@ -279,6 +378,8 @@ def main(argv=None) -> int:
         "speedup_warm_vs_serial": _ratio(
             serial["elapsed_seconds"], warm["elapsed_seconds"]
         ),
+        "longhorizon": longhorizon,
+        "speedup_event_vs_scalar": longhorizon["speedup"],
         "stage_times": stage_times,
         "worker_utilization": worker_utilization,
     }
@@ -289,6 +390,9 @@ def main(argv=None) -> int:
     if report["speedup_batched_vs_scalar"]:
         print(f"batched vs scalar (serial): "
               f"{report['speedup_batched_vs_scalar']:.2f}x")
+    if report["speedup_event_vs_scalar"]:
+        print(f"event vs scalar (long horizon): "
+              f"{report['speedup_event_vs_scalar']:.2f}x")
 
     if warm["cache_hit_rate"] < 1.0:
         print("ERROR: warm warehouse run was not fully cached", file=sys.stderr)
